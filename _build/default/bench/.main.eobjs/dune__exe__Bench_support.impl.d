@@ -1,0 +1,1 @@
+bench/bench_support.ml: Crane_apps Crane_checkpoint Crane_core Crane_paxos Crane_report Crane_sim Crane_workload List Printf

@@ -1,0 +1,190 @@
+(** Shared machinery for the benchmark harness: per-server benchmark
+    specifications (server factory, workload, Table-2 cost profile) and
+    the runners that execute one configuration and collect results. *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Rng = Crane_sim.Rng
+module Instance = Crane_core.Instance
+module Cluster = Crane_core.Cluster
+module Standalone = Crane_core.Standalone
+module Output_log = Crane_core.Output_log
+module Api = Crane_core.Api
+module Paxos = Crane_paxos.Paxos
+module Manager = Crane_checkpoint.Manager
+module Target = Crane_workload.Target
+module Clients = Crane_workload.Clients
+module Loadgen = Crane_workload.Loadgen
+module Stats = Crane_report.Stats
+module Table = Crane_report.Table
+
+type spec = {
+  sname : string;
+  server : hints:bool -> Api.server;
+  hints_available : bool;  (** Apache and Mongoose take the 2-line hints *)
+  port : int;
+  clients : int;
+  requests : int;
+  request : Rng.t -> Target.t -> from:string -> string option;
+  container_stop : Time.t;
+  container_start : Time.t;
+  timeout : Time.t;  (** per-run virtual deadline *)
+}
+
+(* Workload scale: the paper runs 1K requests and reports medians over 20
+   runs on real hardware; one deterministic virtual-time run with a few
+   hundred requests gives equally stable medians here.  [scale] shrinks
+   runs further for --quick. *)
+let specs ~scale =
+  let sc n = max 4 (n / scale) in
+  [
+    {
+      sname = "apache";
+      server = (fun ~hints -> Crane_apps.Apache.server
+                    ~cfg:{ Crane_apps.Apache.default_config with hints } ());
+      hints_available = true;
+      port = 80;
+      clients = 8;
+      requests = sc 160;
+      request = (fun _rng t ~from -> Clients.apachebench t ~from);
+      container_stop = Time.ms 1200;
+      container_start = Time.ms 1800;
+      timeout = Time.sec 600;
+    };
+    {
+      sname = "mongoose";
+      server = (fun ~hints -> Crane_apps.Mongoose.server
+                    ~cfg:{ Crane_apps.Mongoose.default_config with hints } ());
+      hints_available = true;
+      port = 80;
+      clients = 6;
+      requests = sc 120;
+      request = (fun _rng t ~from -> Clients.apachebench t ~from);
+      container_stop = Time.ms 550;
+      container_start = Time.ms 700;
+      timeout = Time.sec 600;
+    };
+    {
+      sname = "clamav";
+      server = (fun ~hints:_ -> Crane_apps.Clamav.server ());
+      hints_available = false;
+      port = 3310;
+      clients = 8;
+      requests = sc 96;
+      request = (fun _rng t ~from -> Clients.clamdscan ~dirs:8 t ~from);
+      container_stop = Time.ms 1500;
+      container_start = Time.ms 1900;
+      timeout = Time.sec 600;
+    };
+    {
+      sname = "mediatomb";
+      server = (fun ~hints:_ -> Crane_apps.Mediatomb.server ());
+      hints_available = false;
+      port = 49152;
+      clients = 4;
+      requests = sc 12;
+      request = (fun _rng t ~from -> Clients.mediabench t ~from);
+      container_stop = Time.ms 1000;
+      container_start = Time.ms 1600;
+      timeout = Time.sec 1200;
+    };
+    {
+      sname = "mysql";
+      server = (fun ~hints:_ -> Crane_apps.Mysql.server ());
+      hints_available = false;
+      port = 3306;
+      clients = 8;
+      requests = sc 240;
+      request = (fun rng t ~from -> Clients.sysbench ~rng ~ntables:16 ~rows:2000 t ~from);
+      container_stop = Time.ms 1300;
+      container_start = Time.ms 2000;
+      timeout = Time.sec 600;
+    };
+  ]
+
+let fast_paxos =
+  {
+    Paxos.heartbeat_period = Time.ms 200;
+    election_timeout = Time.ms 600;
+    election_jitter = Time.ms 100;
+    round_retry = Time.ms 200;
+  }
+
+let cluster_cfg ?(wtimeout = Time.us 100) ?(nclock = 1000) ~mode (spec : spec) =
+  {
+    Instance.default_config with
+    mode;
+    wtimeout;
+    nclock;
+    service_port = spec.port;
+    paxos = fast_paxos;
+    container_stop = spec.container_stop;
+    container_start = spec.container_start;
+  }
+
+type run_result = {
+  median : Time.t;
+  mean : float;
+  p90 : Time.t;
+  errors : int;
+  served : int;
+  wall : Time.t;
+  outputs_consistent : bool option;  (** None for standalone runs *)
+  seq_calls : int;  (** client socket calls decided (cluster runs) *)
+  seq_bubbles : int;  (** time bubbles decided *)
+}
+
+let summarize ?(outputs_consistent = None) ?(seq = (0, 0)) (r : Loadgen.result) =
+  {
+    median = Stats.median r.Loadgen.latencies;
+    mean = Stats.mean r.Loadgen.latencies;
+    p90 = Stats.percentile 0.9 r.Loadgen.latencies;
+    errors = r.Loadgen.errors;
+    served = List.length r.Loadgen.latencies;
+    wall = r.Loadgen.wall;
+    outputs_consistent;
+    seq_calls = fst seq;
+    seq_bubbles = snd seq;
+  }
+
+let run_standalone ?(seed = 42) ~mode (spec : spec) =
+  let sa = Standalone.boot ~seed ~mode ~server:(spec.server ~hints:(mode = Standalone.Parrot && spec.hints_available)) () in
+  let target = Target.standalone sa ~port:spec.port in
+  let rng = Rng.create (seed + 5) in
+  let handle =
+    Loadgen.run ~clients:spec.clients ~requests:spec.requests
+      ~request:(fun t ~from -> spec.request rng t ~from)
+      target
+  in
+  Loadgen.drive ~timeout:spec.timeout target handle;
+  Standalone.check_failures sa;
+  summarize (handle.Loadgen.collect ())
+
+let run_cluster ?(seed = 42) ?(hints = true) ?wtimeout ?nclock ~mode (spec : spec) =
+  let cfg = cluster_cfg ?wtimeout ?nclock ~mode spec in
+  let server = spec.server ~hints:(hints && spec.hints_available) in
+  let cluster = Cluster.create ~seed ~cfg ~server () in
+  Cluster.start ~checkpoints:false cluster;
+  let target = Target.cluster cluster ~port:spec.port in
+  let rng = Rng.create (seed + 5) in
+  let handle =
+    Loadgen.run ~clients:spec.clients ~requests:spec.requests
+      ~request:(fun t ~from -> spec.request rng t ~from)
+      target
+  in
+  Loadgen.drive ~timeout:spec.timeout target handle;
+  Cluster.check_failures cluster;
+  let outputs_consistent =
+    match Cluster.outputs cluster with
+    | (_, o1) :: rest -> Some (List.for_all (fun (_, o) -> Output_log.equal o1 o) rest)
+    | [] -> Some false
+  in
+  let seq =
+    match Cluster.instances cluster with
+    | (_, inst) :: _ -> Instance.seq_stats inst
+    | [] -> (0, 0)
+  in
+  (summarize ~outputs_consistent ~seq (handle.Loadgen.collect ()), cluster)
+
+let pct v = Printf.sprintf "%.1f%%" v
+let ms t = Printf.sprintf "%.2f" (Time.to_float_ms t)

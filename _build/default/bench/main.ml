@@ -1,0 +1,414 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§7).
+
+     dune exec bench/main.exe            full run
+     dune exec bench/main.exe -- --quick reduced workloads
+     dune exec bench/main.exe -- --skip-bechamel
+
+   Absolute numbers come from the simulator's calibrated cost models; the
+   claims under reproduction are the *shapes*: who wins, by what rough
+   factor, and where the trade-offs fall.  EXPERIMENTS.md records
+   paper-vs-measured for every cell. *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Instance = Crane_core.Instance
+module Cluster = Crane_core.Cluster
+module Standalone = Crane_core.Standalone
+module Paxos = Crane_paxos.Paxos
+module Manager = Crane_checkpoint.Manager
+module Stats = Crane_report.Stats
+module Table = Crane_report.Table
+module Loadgen = Crane_workload.Loadgen
+module Target = Crane_workload.Target
+module Clients = Crane_workload.Clients
+open Bench_support
+
+type fig14_row = {
+  spec : spec;
+  native : run_result;
+  parrot : run_result;
+  paxos_only : run_result;
+  crane : run_result;
+  crane_nohints : run_result option;
+}
+
+let norm ~baseline r = Stats.normalized_pct ~baseline:baseline.median ~system:r.median
+
+(* ------------------------------------------------------------------ *)
+(* Figure 14 (+ inputs for Figure 15, Table 1, §7.2 plan I). *)
+
+let run_fig14 specs =
+  List.map
+    (fun spec ->
+      Printf.eprintf "  [fig14] %s: native...%!" spec.sname;
+      let native = run_standalone ~mode:Standalone.Native spec in
+      Printf.eprintf " parrot...%!";
+      let parrot = run_standalone ~mode:Standalone.Parrot spec in
+      Printf.eprintf " paxos-only...%!";
+      let paxos_only, _ = run_cluster ~mode:Instance.Paxos_only spec in
+      Printf.eprintf " crane...%!";
+      let crane, _ = run_cluster ~mode:Instance.Full spec in
+      let crane_nohints =
+        if spec.hints_available then begin
+          Printf.eprintf " crane(no hints)...%!";
+          Some (fst (run_cluster ~hints:false ~mode:Instance.Full spec))
+        end
+        else None
+      in
+      Printf.eprintf " done\n%!";
+      { spec; native; parrot; paxos_only; crane; crane_nohints })
+    specs
+
+let print_fig14 rows =
+  Table.print ~title:"Figure 14: performance normalized to un-replicated execution (%)"
+    ~header:
+      [ "server"; "native ms"; "w/ Parrot only"; "w/ Paxos only"; "CRANE"; "CRANE ms" ]
+    (List.map
+       (fun r ->
+         [
+           r.spec.sname;
+           ms r.native.median;
+           pct (norm ~baseline:r.native r.parrot);
+           pct (norm ~baseline:r.native r.paxos_only);
+           pct (norm ~baseline:r.native r.crane);
+           ms r.crane.median;
+         ])
+       rows);
+  let overheads =
+    List.map
+      (fun r -> Stats.overhead_pct ~baseline:r.native.median ~system:r.crane.median)
+      rows
+  in
+  let mean_ov = List.fold_left ( +. ) 0.0 overheads /. float_of_int (List.length overheads) in
+  Printf.printf "mean CRANE overhead: %.2f%%   (paper: 34.19%%)\n" mean_ov
+
+let print_fig15 rows =
+  let rows15 = List.filter (fun r -> r.crane_nohints <> None) rows in
+  Table.print
+    ~title:"Figure 15: effect of PARROT's soft-barrier hints (normalized to native, %)"
+    ~header:[ "server"; "CRANE w/o hint"; "CRANE w/ hint"; "overhead w/o"; "overhead w/" ]
+    (List.map
+       (fun r ->
+         let nh = Option.get r.crane_nohints in
+         [
+           r.spec.sname;
+           pct (norm ~baseline:r.native nh);
+           pct (norm ~baseline:r.native r.crane);
+           pct (Stats.overhead_pct ~baseline:r.native.median ~system:nh.median);
+           pct (Stats.overhead_pct ~baseline:r.native.median ~system:r.crane.median);
+         ])
+       rows15)
+
+let print_table1 rows =
+  Table.print ~title:"Table 1: ratio of time bubbles in all PAXOS consensus requests"
+    ~header:[ "server"; "# client socket calls"; "# time bubbles"; "%" ]
+    (List.map
+       (fun r ->
+         let calls = r.crane.seq_calls and bubbles = r.crane.seq_bubbles in
+         [
+           r.spec.sname;
+           string_of_int calls;
+           string_of_int bubbles;
+           pct (100.0 *. float_of_int bubbles /. float_of_int (max 1 (calls + bubbles)));
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* §7.2: consistency of network outputs: plan I (CRANE) vs plan II
+   (time bubbling disabled). *)
+
+let run_consistency specs rows =
+  Table.print
+    ~title:
+      "Sec 7.2: network outputs identical across replicas? (plan I = CRANE, plan II = bubbling disabled)"
+    ~header:[ "server"; "plan I consistent"; "plan II consistent" ]
+    (List.map2
+       (fun spec r ->
+         Printf.eprintf "  [7.2] %s plan II...\n%!" spec.sname;
+         let plan2, _ = run_cluster ~mode:Instance.No_bubbling spec in
+         [
+           spec.sname;
+           (match r.crane.outputs_consistent with
+           | Some true -> "yes"
+           | Some false -> "NO"
+           | None -> "?");
+           (match plan2.outputs_consistent with
+           | Some true -> "yes (divergence is probabilistic)"
+           | Some false -> "no (diverged)"
+           | None -> "?");
+         ])
+       specs rows)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 16 and 17: sensitivity of the time-bubbling parameters. *)
+
+let run_sweep specs rows ~title ~values ~default ~label ~run =
+  let header = "server" :: List.map label values in
+  let table_rows =
+    List.map2
+      (fun spec r ->
+        spec.sname
+        :: List.map
+             (fun v ->
+               if v = default then pct 100.0 (* the normalization point *)
+               else begin
+                 Printf.eprintf "  [%s] %s %s...\n%!" title spec.sname (label v);
+                 let res, _ = run spec v in
+                 pct (Stats.normalized_pct ~baseline:r.crane.median ~system:res.median)
+               end)
+             values)
+      specs rows
+  in
+  Table.print ~title ~header table_rows
+
+let run_fig16 specs rows =
+  run_sweep specs rows
+    ~title:"Figure 16: CRANE performance vs Wtimeout (normalized to default 100us)"
+    ~values:[ Time.us 1; Time.us 10; Time.us 100; Time.us 1000; Time.us 10000 ]
+    ~default:(Time.us 100)
+    ~label:(fun v -> Printf.sprintf "%dus" (v / 1000))
+    ~run:(fun spec v -> run_cluster ~wtimeout:v ~mode:Instance.Full spec)
+
+let run_fig17 specs rows =
+  run_sweep specs rows
+    ~title:"Figure 17: CRANE performance vs Nclock (normalized to default 1000)"
+    ~values:[ 100; 1000; 10000 ] ~default:1000 ~label:string_of_int
+    ~run:(fun spec v -> run_cluster ~nclock:v ~mode:Instance.Full spec)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: checkpoint and restore cost per server. *)
+
+let run_table2 specs =
+  let row (spec : spec) =
+    Printf.eprintf "  [table2] %s...\n%!" spec.sname;
+    let cfg = cluster_cfg ~mode:Instance.Full spec in
+    let cluster = Cluster.create ~cfg ~server:(spec.server ~hints:spec.hints_available) () in
+    Cluster.start ~checkpoints:false cluster;
+    let target = Target.cluster cluster ~port:spec.port in
+    let rng = Crane_sim.Rng.create 99 in
+    let handle =
+      Loadgen.run ~clients:spec.clients
+        ~requests:(max 4 (spec.requests / 4))
+        ~request:(fun t ~from -> spec.request rng t ~from)
+        target
+    in
+    Loadgen.drive ~timeout:spec.timeout target handle;
+    (* Checkpoint + restore on the first backup. *)
+    let result = ref None in
+    (match Cluster.instances cluster with
+    | _ :: (_, backup) :: _ ->
+      let eng = Cluster.engine cluster in
+      Engine.spawn eng ~name:"bench-ckpt" (fun () ->
+          let ckpt = Manager.checkpoint_now backup.Instance.manager in
+          let _, rt = Manager.restore backup.Instance.manager ckpt in
+          result := Some (ckpt.Manager.timings, rt));
+      (* Step the clock until the checkpoint+restore completes. *)
+      let deadline = Engine.now eng + Time.sec 300 in
+      while !result = None && Engine.now eng < deadline do
+        Cluster.run ~until:(min deadline (Engine.now eng + Time.sec 2)) cluster
+      done
+    | _ -> ());
+    Cluster.check_failures cluster;
+    match !result with
+    | Some ({ Manager.c_process; c_fs }, { Manager.r_process; r_fs }) ->
+      [ spec.sname; ms c_process; ms r_process; ms c_fs; ms r_fs ]
+    | None -> [ spec.sname; "-"; "-"; "-"; "-" ]
+  in
+  Table.print ~title:"Table 2: checkpoint/restore cost (ms)"
+    ~header:[ "server"; "C_p (ms)"; "R_p (ms)"; "C_fs (ms)"; "R_fs (ms)" ]
+    (List.map row specs)
+
+(* ------------------------------------------------------------------ *)
+(* §7.6: leader election and old-primary re-join. *)
+
+let run_recovery specs =
+  match List.find_opt (fun s -> s.sname = "mongoose") specs with
+  | None -> ()
+  | Some spec ->
+    Printf.eprintf "  [recovery] mongoose failover...\n%!";
+    let cfg =
+      {
+        (cluster_cfg ~mode:Instance.Full spec) with
+        paxos = Paxos.default_config (* the paper's 1 s heartbeat / 3 s timeout *);
+        checkpoint_period = Time.sec 2;
+      }
+    in
+    let cluster = Cluster.create ~cfg ~server:(spec.server ~hints:true) () in
+    Cluster.start ~checkpoints:true cluster;
+    let eng = Cluster.engine cluster in
+    let target = Target.cluster cluster ~port:spec.port in
+    let handle =
+      Loadgen.run ~think:(Time.ms 40) ~clients:4 ~requests:600
+        ~request:(fun t ~from -> Clients.apachebench t ~from)
+        target
+    in
+    let kill_at = Time.sec 5 in
+    let restart_at = Time.sec 12 in
+    let rejoin_done = ref None in
+    Engine.at eng kill_at (fun () -> Cluster.kill cluster "replica1");
+    Engine.at eng restart_at (fun () ->
+        ignore (Cluster.restart cluster "replica1");
+        (* Poll until the restarted node adopts the current view. *)
+        let rec watch () =
+          Engine.after eng (Time.ms 10) (fun () ->
+              match (Cluster.instance cluster "replica1", Cluster.primary cluster) with
+              | Some inst, Some (_, prim) ->
+                if
+                  Paxos.view inst.Instance.paxos = Paxos.view prim.Instance.paxos
+                  && !rejoin_done = None
+                then rejoin_done := Some (Engine.now eng - restart_at)
+                else if !rejoin_done = None then watch ()
+              | _ -> watch ())
+        in
+        watch ());
+    Loadgen.drive ~timeout:(Time.sec 300) target handle;
+    Cluster.run ~until:(Engine.now eng + Time.sec 10) cluster;
+    Cluster.check_failures cluster;
+    let r = handle.Loadgen.collect () in
+    let election =
+      match Cluster.primary cluster with
+      | Some (_, p) -> Paxos.last_election_duration p.Instance.paxos
+      | None -> None
+    in
+    Table.print ~title:"Sec 7.6: replica failure and recovery (Mongoose)"
+      ~header:[ "metric"; "measured"; "paper" ]
+      [
+        [ "leader election (3 steps)";
+          (match election with Some d -> Time.to_string d | None -> "-");
+          "1.97 ms" ];
+        [ "old primary re-join after restart";
+          (match !rejoin_done with Some d -> Time.to_string d | None -> "-");
+          "0.36 s" ];
+        [ "requests served across failover";
+          Printf.sprintf "%d/%d (%d errors)" (List.length r.Loadgen.latencies)
+            (List.length r.Loadgen.latencies + r.Loadgen.errors)
+            r.Loadgen.errors;
+          "robust" ];
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure, timing a
+   miniature version of each experiment's driver. *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let tiny_spec =
+    {
+      (List.hd (specs ~scale:1)) with
+      requests = 6;
+      clients = 2;
+      server =
+        (fun ~hints ->
+          Crane_apps.Apache.server
+            ~cfg:
+              {
+                Crane_apps.Apache.default_config with
+                nworkers = 2;
+                php_segments = 2;
+                segment_cost = Crane_sim.Time.us 500;
+                hints;
+              }
+            ());
+    }
+  in
+  let mysql_tiny = { (List.nth (specs ~scale:1) 4) with requests = 8; clients = 2 } in
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    t "fig14:crane-vs-native" (fun () ->
+        ignore (run_cluster ~mode:Instance.Full tiny_spec));
+    t "fig15:hints-off" (fun () ->
+        ignore (run_cluster ~hints:false ~mode:Instance.Full tiny_spec));
+    t "fig16:wtimeout-10us" (fun () ->
+        ignore (run_cluster ~wtimeout:(Crane_sim.Time.us 10) ~mode:Instance.Full tiny_spec));
+    t "fig17:nclock-100" (fun () ->
+        ignore (run_cluster ~nclock:100 ~mode:Instance.Full tiny_spec));
+    t "table1:bubble-accounting" (fun () ->
+        ignore (run_cluster ~mode:Instance.Full mysql_tiny));
+    t "table2:checkpoint-restore" (fun () ->
+        let eng = Engine.create () in
+        let fs = Crane_fs.Memfs.create () in
+        Crane_fs.Memfs.write fs ~path:"data/file" (String.make 100_000 'x');
+        let container = Crane_fs.Container.create eng ~name:"c" fs in
+        let mgr =
+          Manager.create eng ~container
+            ~state_of:(fun () -> "s")
+            ~mem_bytes:(fun () -> 1_000_000)
+            ~alive_conns:(fun () -> 0)
+            ~global_index:(fun () -> 0)
+        in
+        Engine.spawn eng ~name:"ck" (fun () ->
+            let c = Manager.checkpoint_now mgr in
+            ignore (Manager.restore mgr c));
+        Engine.run eng);
+    t "sec7.2:output-consistency" (fun () ->
+        ignore (run_cluster ~mode:Instance.No_bubbling tiny_spec));
+    t "sec7.6:leader-election" (fun () ->
+        let eng = Engine.create () in
+        let fabric = Crane_net.Fabric.create eng (Crane_sim.Rng.create 1) in
+        let members = [ "a"; "b"; "c" ] in
+        let nodes =
+          List.map
+            (fun n ->
+              let wal = Crane_storage.Wal.create eng ~name:n in
+              let g = Engine.new_group eng in
+              let p =
+                Paxos.create ~config:fast_paxos ~fabric
+                  ~rng:(Crane_sim.Rng.create (Hashtbl.hash n))
+                  ~wal ~members ~node:n ~group:g ()
+              in
+              Paxos.start p ();
+              Crane_net.Fabric.node_up fabric n;
+              (n, p, g))
+            members
+        in
+        (match nodes with
+        | (_, _, g) :: _ -> Engine.at eng (Crane_sim.Time.sec 1) (fun () -> Engine.kill_group eng g)
+        | [] -> ());
+        Engine.run ~until:(Crane_sim.Time.sec 4) eng);
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  print_endline "\n== Bechamel micro-timings of the experiment drivers ==";
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None ~stabilize:false ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  List.iter
+    (fun test ->
+      Test.elements test
+      |> List.iter (fun elt ->
+             let result = Benchmark.run cfg instances elt in
+             let ols =
+               Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+             in
+             let est = Analyze.one ols Toolkit.Instance.monotonic_clock result in
+             match Analyze.OLS.estimates est with
+             | Some [ ns ] ->
+               Printf.printf "  %-28s %12.0f ns/run  (%d samples)\n%!"
+                 (Test.Elt.name elt) ns result.Benchmark.stats.Benchmark.samples
+             | Some _ | None ->
+               Printf.printf "  %-28s (no estimate)\n%!" (Test.Elt.name elt)))
+    (List.map (fun t -> Test.make_grouped ~name:"crane" [ t ]) (bechamel_tests ()))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let skip_bechamel = Array.exists (( = ) "--skip-bechamel") Sys.argv in
+  let scale = if quick then 4 else 1 in
+  let specs = specs ~scale in
+  print_endline "CRANE benchmark harness: reproducing the evaluation of";
+  print_endline "\"Paxos Made Transparent\" (SOSP 2015) on the simulated substrate.";
+  Printf.printf "workload scale: %s\n%!" (if quick then "quick (1/4)" else "full");
+  let rows = run_fig14 specs in
+  print_fig14 rows;
+  print_fig15 rows;
+  print_table1 rows;
+  run_consistency specs rows;
+  run_fig16 specs rows;
+  run_fig17 specs rows;
+  run_table2 specs;
+  run_recovery specs;
+  if not skip_bechamel then run_bechamel ()

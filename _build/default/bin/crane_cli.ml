@@ -1,0 +1,166 @@
+(* Command-line front end: run any server under any deployment and
+   report latency statistics, or exercise the failure scenarios.
+
+     dune exec bin/crane_cli.exe -- run --server apache --mode crane
+     dune exec bin/crane_cli.exe -- run --server mysql --mode native -n 200
+     dune exec bin/crane_cli.exe -- failover --server mongoose
+     dune exec bin/crane_cli.exe -- servers *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Rng = Crane_sim.Rng
+module Instance = Crane_core.Instance
+module Cluster = Crane_core.Cluster
+module Standalone = Crane_core.Standalone
+module Output_log = Crane_core.Output_log
+module Paxos = Crane_paxos.Paxos
+module Target = Crane_workload.Target
+module Clients = Crane_workload.Clients
+module Loadgen = Crane_workload.Loadgen
+module Stats = Crane_report.Stats
+open Cmdliner
+
+type server_choice = Apache | Mongoose | Clamav | Mediatomb | Mysql
+
+let all_servers =
+  [ ("apache", Apache); ("mongoose", Mongoose); ("clamav", Clamav);
+    ("mediatomb", Mediatomb); ("mysql", Mysql) ]
+
+let server_of = function
+  | Apache -> (Crane_apps.Apache.server ~cfg:{ Crane_apps.Apache.default_config with hints = true } (), 80)
+  | Mongoose -> (Crane_apps.Mongoose.server ~cfg:{ Crane_apps.Mongoose.default_config with hints = true } (), 80)
+  | Clamav -> (Crane_apps.Clamav.server (), 3310)
+  | Mediatomb -> (Crane_apps.Mediatomb.server (), 49152)
+  | Mysql -> (Crane_apps.Mysql.server (), 3306)
+
+let request_of choice rng =
+  match choice with
+  | Apache | Mongoose -> fun t ~from -> Clients.apachebench t ~from
+  | Clamav -> fun t ~from -> Clients.clamdscan ~dirs:8 t ~from
+  | Mediatomb -> fun t ~from -> Clients.mediabench t ~from
+  | Mysql -> fun t ~from -> Clients.sysbench ~rng ~ntables:16 ~rows:2000 t ~from
+
+type mode_choice = Native | Parrot | PaxosOnly | Crane | PlanII
+
+let all_modes =
+  [ ("native", Native); ("parrot", Parrot); ("paxos-only", PaxosOnly);
+    ("crane", Crane); ("plan2", PlanII) ]
+
+let report name (r : Loadgen.result) =
+  Printf.printf "%s: %d ok, %d errors\n" name (List.length r.Loadgen.latencies)
+    r.Loadgen.errors;
+  if r.Loadgen.latencies <> [] then
+    Printf.printf
+      "  latency: median %s  mean %.2fms  p90 %s  p99 %s  (virtual wall %s)\n"
+      (Time.to_string (Stats.median r.Loadgen.latencies))
+      (Stats.mean r.Loadgen.latencies /. 1e6)
+      (Time.to_string (Stats.percentile 0.9 r.Loadgen.latencies))
+      (Time.to_string (Stats.percentile 0.99 r.Loadgen.latencies))
+      (Time.to_string r.Loadgen.wall)
+
+let run_cmd choice mode clients requests seed =
+  let server, port = server_of choice in
+  let rng = Rng.create (seed + 1) in
+  let request = request_of choice rng in
+  let fast_paxos =
+    { Paxos.heartbeat_period = Time.ms 200; election_timeout = Time.ms 600;
+      election_jitter = Time.ms 100; round_retry = Time.ms 200 }
+  in
+  (match mode with
+  | Native | Parrot ->
+    let m = if mode = Native then Standalone.Native else Standalone.Parrot in
+    let sa = Standalone.boot ~seed ~mode:m ~server () in
+    let target = Target.standalone sa ~port in
+    let handle = Loadgen.run ~clients ~requests ~request target in
+    Loadgen.drive ~timeout:(Time.sec 3600) target handle;
+    Standalone.check_failures sa;
+    report "un-replicated" (handle.Loadgen.collect ())
+  | PaxosOnly | Crane | PlanII ->
+    let imode =
+      match mode with
+      | PaxosOnly -> Instance.Paxos_only
+      | PlanII -> Instance.No_bubbling
+      | Native | Parrot | Crane -> Instance.Full
+    in
+    let cfg =
+      { Instance.default_config with mode = imode; service_port = port; paxos = fast_paxos }
+    in
+    let cluster = Cluster.create ~seed ~cfg ~server () in
+    Cluster.start cluster;
+    let target = Target.cluster cluster ~port in
+    let handle = Loadgen.run ~clients ~requests ~request target in
+    Loadgen.drive ~timeout:(Time.sec 3600) target handle;
+    Cluster.check_failures cluster;
+    report "3-replica cluster" (handle.Loadgen.collect ());
+    match Cluster.outputs cluster with
+    | (_, o1) :: rest ->
+      let same = List.for_all (fun (_, o) -> Output_log.equal o1 o) rest in
+      Printf.printf "  replica outputs identical: %b\n" same
+    | [] -> ());
+  0
+
+let failover_cmd choice seed =
+  let server, port = server_of choice in
+  let rng = Rng.create (seed + 1) in
+  let request = request_of choice rng in
+  let cfg =
+    { Instance.default_config with service_port = port; checkpoint_period = Time.sec 2 }
+  in
+  let cluster = Cluster.create ~seed ~cfg ~server () in
+  Cluster.start ~checkpoints:true cluster;
+  let eng = Cluster.engine cluster in
+  let target = Target.cluster cluster ~port in
+  let handle = Loadgen.run ~think:(Time.ms 50) ~clients:4 ~requests:400 ~request target in
+  Engine.at eng (Time.sec 5) (fun () ->
+      Printf.printf "[5s] killing primary\n";
+      Cluster.kill cluster "replica1");
+  Engine.at eng (Time.sec 12) (fun () ->
+      Printf.printf "[12s] restarting replica1 from checkpoint\n";
+      ignore (Cluster.restart cluster "replica1"));
+  Loadgen.drive ~timeout:(Time.sec 600) target handle;
+  Cluster.run ~until:(Engine.now eng + Time.sec 10) cluster;
+  Cluster.check_failures cluster;
+  report "failover run" (handle.Loadgen.collect ());
+  (match Cluster.primary cluster with
+  | Some (n, p) ->
+    Printf.printf "primary now: %s (view %d)%s\n" n (Paxos.view p.Instance.paxos)
+      (match Paxos.last_election_duration p.Instance.paxos with
+      | Some d -> Printf.sprintf ", election took %s" (Time.to_string d)
+      | None -> "")
+  | None -> print_endline "no primary!");
+  0
+
+let servers_cmd () =
+  print_endline "available servers:";
+  List.iter (fun (n, _) -> Printf.printf "  %s\n" n) all_servers;
+  print_endline "modes: native parrot paxos-only crane plan2";
+  0
+
+(* ---- cmdliner plumbing ---- *)
+
+let server_arg =
+  let choice = Arg.enum all_servers in
+  Arg.(value & opt choice Apache & info [ "server"; "s" ] ~doc:"Server program to run.")
+
+let mode_arg =
+  let choice = Arg.enum all_modes in
+  Arg.(value & opt choice Crane & info [ "mode"; "m" ] ~doc:"Deployment mode.")
+
+let clients_arg = Arg.(value & opt int 8 & info [ "clients"; "c" ] ~doc:"Concurrent clients.")
+let requests_arg = Arg.(value & opt int 100 & info [ "requests"; "n" ] ~doc:"Total requests.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let run_term = Term.(const run_cmd $ server_arg $ mode_arg $ clients_arg $ requests_arg $ seed_arg)
+let failover_term = Term.(const failover_cmd $ server_arg $ seed_arg)
+let servers_term = Term.(const servers_cmd $ const ())
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Run a workload against a server in a chosen deployment mode.") run_term;
+    Cmd.v (Cmd.info "failover" ~doc:"Kill the primary under load, recover from a checkpoint.") failover_term;
+    Cmd.v (Cmd.info "servers" ~doc:"List available servers and modes.") servers_term;
+  ]
+
+let () =
+  let info = Cmd.info "crane" ~doc:"CRANE: transparent state machine replication (simulated)." in
+  exit (Cmd.eval' (Cmd.group info cmds))

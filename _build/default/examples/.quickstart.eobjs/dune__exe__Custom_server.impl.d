@@ -1,0 +1,1 @@
+examples/custom_server.ml: Buffer Crane_apps Crane_core Crane_sim Crane_socket Hashtbl List Option Printf String

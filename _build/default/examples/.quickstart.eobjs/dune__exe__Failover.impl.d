@@ -1,0 +1,1 @@
+examples/failover.ml: Crane_apps Crane_core Crane_paxos Crane_sim Crane_workload List Printf String

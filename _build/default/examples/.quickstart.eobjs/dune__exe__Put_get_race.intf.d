@@ -1,0 +1,1 @@
+examples/put_get_race.mli:

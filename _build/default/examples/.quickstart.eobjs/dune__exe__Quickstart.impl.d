@@ -1,0 +1,1 @@
+examples/quickstart.ml: Crane_core Crane_sim Crane_socket Digest List Printf

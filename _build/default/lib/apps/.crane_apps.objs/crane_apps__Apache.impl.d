@@ -1,0 +1,1 @@
+lib/apps/apache.ml: Crane_sim Http_server

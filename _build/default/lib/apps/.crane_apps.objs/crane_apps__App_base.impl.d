@@ -1,0 +1,1 @@
+lib/apps/app_base.ml: Crane_core Crane_sim Hashtbl Httpkit Queue

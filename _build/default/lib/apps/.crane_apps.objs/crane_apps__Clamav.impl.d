@@ -1,0 +1,1 @@
+lib/apps/clamav.ml: App_base Buffer Crane_core Crane_fs Crane_sim Filename Hashtbl List Printf Str_util String

@@ -1,0 +1,1 @@
+lib/apps/http_server.ml: App_base Crane_core Crane_fs Crane_sim Filename Httpkit List Printf String

@@ -1,0 +1,1 @@
+lib/apps/httpkit.ml: Buffer List Printf Stdlib Str_util String

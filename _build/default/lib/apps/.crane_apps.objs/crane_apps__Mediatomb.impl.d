@@ -1,0 +1,1 @@
+lib/apps/mediatomb.ml: App_base Crane_core Crane_fs Crane_sim Digest Filename Httpkit Printf String

@@ -1,0 +1,1 @@
+lib/apps/mongoose.ml: Crane_sim Http_server

@@ -1,0 +1,1 @@
+lib/apps/mysql.ml: App_base Buffer Crane_core Crane_fs Crane_sim Hashtbl Printf Sqlkit Str_util String

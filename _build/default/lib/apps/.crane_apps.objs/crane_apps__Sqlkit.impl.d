@@ -1,0 +1,1 @@
+lib/apps/sqlkit.ml: Hashtbl List Option Printf String

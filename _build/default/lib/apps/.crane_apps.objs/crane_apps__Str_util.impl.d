@@ -1,0 +1,1 @@
+lib/apps/str_util.ml: List String

@@ -1,0 +1,19 @@
+(** Apache httpd model (paper §7): worker-pool HTTP server whose PHP
+    interpreter takes ~70 ms per page.  At peak on the paper's machines
+    the ApacheBench workload keeps 8-12 workers busy. *)
+
+module Time = Crane_sim.Time
+
+let default_config =
+  {
+    Http_server.port = 80;
+    nworkers = 8;
+    php_segments = 6;
+    segment_cost = Time.us 11_667 (* 6 x 11.67 ms = 70 ms per page *);
+    hints = false;
+    hint_timeout_ticks = 30_000;
+    mem_bytes = 4_000_000;
+    docroot = "www";
+  }
+
+let server ?(cfg = default_config) () = Http_server.make ~name:"apache" ~cfg

@@ -1,0 +1,92 @@
+(** Building blocks shared by the five server programs: the worklist of
+    the paper's Figure 2 example and a cost model for interpreter-style
+    request processing (segments of CPU work separated by Pthreads
+    synchronizations — a PHP interpreter, a scan loop, a transcoder
+    pipeline).  All of it is written against {!Api.API}, so every server
+    runs unmodified under native Pthreads, PARROT, or CRANE. *)
+
+module Time = Crane_sim.Time
+module Api = Crane_core.Api
+
+module Make (R : Api.API) = struct
+  (* The listener/worker worklist of Figure 2: add() wakes one blocked
+     worker; get() blocks while empty. *)
+  module Worklist = struct
+    type 'a t = {
+      mu : R.mutex;
+      nonempty : R.cond;
+      items : 'a Queue.t;
+      mutable closed : bool;
+    }
+
+    let create () =
+      { mu = R.mutex (); nonempty = R.cond (); items = Queue.create (); closed = false }
+
+    let add t item =
+      R.lock t.mu;
+      Queue.add item t.items;
+      R.cond_signal t.nonempty;
+      R.unlock t.mu
+
+    (* None once closed and drained. *)
+    let get t =
+      R.lock t.mu;
+      while Queue.is_empty t.items && not t.closed do
+        R.cond_wait t.nonempty t.mu
+      done;
+      let item = Queue.take_opt t.items in
+      R.unlock t.mu;
+      item
+
+    let close t =
+      R.lock t.mu;
+      t.closed <- true;
+      R.cond_broadcast t.nonempty;
+      R.unlock t.mu
+  end
+
+  (* Interpreter-style computation: [segments] bursts of CPU work, each
+     followed by a synchronization on the interpreter's arena lock (the
+     allocator / refcount locks a real PHP interpreter or scanner hits
+     constantly).  Under DMT each boundary needs the global turn, which is
+     what the soft-barrier hints exist to keep cheap.
+
+     Segment costs vary deterministically with [salt] (page content,
+     request identity): the total work is stable but threads fall out of
+     step, and under round-robin every synchronization then waits for the
+     slowest thread to reach its own boundary — the residual DMT overhead
+     the paper measures even with hints in place. *)
+  let staged_compute ?(salt = 0) ?(spread = 40) ~arena ~segments ~segment_cost () =
+    for seg = 1 to segments do
+      let h = Hashtbl.hash (salt, seg) land 0xFF in
+      (* multiplier in [1-spread%, 1+spread%], mean 1.0 *)
+      let lo = 100 - spread in
+      let cost = segment_cost * (lo + (h * 2 * spread / 255)) / 100 in
+      R.work cost;
+      R.lock arena;
+      R.unlock arena
+    done
+
+  (* Drain one full HTTP request from a connection. *)
+  let read_http conn = Httpkit.read_request (fun () -> R.recv conn ~max:4096)
+
+  let http_respond conn ~status ?headers body =
+    R.send conn
+      (Httpkit.response ~now:(Time.to_string (R.now ())) ~status ?headers body)
+
+  (* Counter protected by a mutex: servers use it for request stats, and
+     its value is part of the checkpointed process state. *)
+  module Counter = struct
+    type t = { mu : R.mutex; mutable n : int }
+
+    let create () = { mu = R.mutex (); n = 0 }
+
+    let incr t =
+      R.lock t.mu;
+      t.n <- t.n + 1;
+      R.unlock t.mu
+
+    let get t = t.n
+    let set t v = t.n <- v
+  end
+end

@@ -1,0 +1,112 @@
+(** Minimal HTTP/1.0-style codec shared by the web servers (Apache,
+    Mongoose, MediaTomb's web interface).
+
+    Requests: ["<METHOD> <path> HTTP/1.0\r\nHeader: v\r\n\r\n<body>"] with
+    an optional [Content-Length].  A request may arrive fragmented across
+    several [recv] calls; {!read_request} reassembles it. *)
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+let content_length headers =
+  match List.assoc_opt "content-length" headers with
+  | Some v -> ( match int_of_string_opt (String.trim v) with Some n -> n | None -> 0)
+  | None -> 0
+
+let parse_headers lines =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | Some i ->
+        Some
+          ( String.lowercase_ascii (String.sub line 0 i),
+            String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+      | None -> None)
+    lines
+
+let parse_request raw =
+  match Stdlib.String.index_opt raw ' ' with
+  | None -> None
+  | Some _ -> (
+    match String.split_on_char '\n' raw with
+    | [] -> None
+    | request_line :: rest -> (
+      let rest = List.map (fun l -> String.trim l) rest in
+      let header_lines =
+        let rec take acc = function
+          | "" :: _ | [] -> List.rev acc
+          | l :: ls -> take (l :: acc) ls
+        in
+        take [] rest
+      in
+      let headers = parse_headers header_lines in
+      let body =
+        match Str_util.find_sub raw "\r\n\r\n" with
+        | Some i -> String.sub raw (i + 4) (String.length raw - i - 4)
+        | None -> ""
+      in
+      match String.split_on_char ' ' (String.trim request_line) with
+      | meth :: path :: _ -> Some { meth; path; headers; body }
+      | _ -> None))
+
+(* A complete request has its header terminator and full body. *)
+let is_complete raw =
+  match Str_util.find_sub raw "\r\n\r\n" with
+  | None -> false
+  | Some i -> (
+    match parse_request raw with
+    | None -> false
+    | Some req ->
+      String.length raw - (i + 4) >= content_length req.headers
+      || content_length req.headers = 0)
+
+(* Read a full request from a connection using a recv function; returns
+   None on EOF before a complete request. *)
+let read_request recv =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    if is_complete (Buffer.contents buf) then parse_request (Buffer.contents buf)
+    else
+      let chunk = recv () in
+      if chunk = "" then None
+      else begin
+        Buffer.add_string buf chunk;
+        go ()
+      end
+  in
+  go ()
+
+let request ?(headers = []) ?(body = "") meth path =
+  let headers =
+    if body = "" then headers
+    else ("Content-Length", string_of_int (String.length body)) :: headers
+  in
+  let hdrs =
+    String.concat "" (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+  in
+  Printf.sprintf "%s %s HTTP/1.0\r\n%s\r\n%s" meth path hdrs body
+
+let response ~now ~status ?(headers = []) body =
+  let reason =
+    match status with
+    | 200 -> "OK"
+    | 201 -> "Created"
+    | 404 -> "Not Found"
+    | 500 -> "Internal Server Error"
+    | _ -> "Unknown"
+  in
+  let hdrs =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+  in
+  Printf.sprintf "HTTP/1.0 %d %s\r\nDate: %s\r\nContent-Length: %d\r\n%s\r\n%s" status
+    reason now (String.length body) hdrs body
+
+let status_of_response resp =
+  match String.split_on_char ' ' resp with
+  | _ :: code :: _ -> int_of_string_opt code
+  | _ -> None

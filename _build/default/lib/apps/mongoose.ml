@@ -1,0 +1,19 @@
+(** Mongoose model (paper §7): a lighter embedded HTTP server with the
+    same listener/worker-pool shape as Apache but a smaller pool and a
+    leaner interpreter. *)
+
+module Time = Crane_sim.Time
+
+let default_config =
+  {
+    Http_server.port = 80;
+    nworkers = 6;
+    php_segments = 4;
+    segment_cost = Time.us 17_500 (* 4 x 17.5 ms = 70 ms per page *);
+    hints = false;
+    hint_timeout_ticks = 30_000;
+    mem_bytes = 1_500_000;
+    docroot = "htdocs";
+  }
+
+let server ?(cfg = default_config) () = Http_server.make ~name:"mongoose" ~cfg

@@ -1,0 +1,23 @@
+(** Tiny string helpers shared by the protocol codecs. *)
+
+(* Index of the first occurrence of [needle] in [hay], if any.
+   Allocation-free: scanning megabytes of simulated file content is on
+   the hot path of the ClamAV model. *)
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 then Some 0
+  else if nn > nh then None
+  else begin
+    let first = String.unsafe_get needle 0 in
+    let rec matches_at i j =
+      j >= nn || (String.unsafe_get hay (i + j) = String.unsafe_get needle j && matches_at i (j + 1))
+    in
+    let rec go i =
+      if i + nn > nh then None
+      else if String.unsafe_get hay i = first && matches_at i 1 then Some i
+      else go (i + 1)
+    in
+    go 0
+  end
+
+let lines s = String.split_on_char '\n' s |> List.map String.trim

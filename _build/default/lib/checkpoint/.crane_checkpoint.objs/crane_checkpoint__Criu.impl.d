@@ -1,0 +1,1 @@
+lib/checkpoint/criu.ml: Crane_fs Crane_sim

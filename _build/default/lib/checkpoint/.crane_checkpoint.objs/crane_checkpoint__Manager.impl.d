@@ -1,0 +1,1 @@
+lib/checkpoint/manager.ml: Crane_fs Crane_sim Criu

@@ -1,0 +1,1 @@
+lib/checkpoint/manager.mli: Crane_fs Crane_sim Criu

@@ -1,0 +1,1 @@
+lib/core/api.ml: Crane_fs Crane_sim

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Api Crane_checkpoint Crane_fs Crane_net Crane_paxos Crane_sim Crane_socket Crane_storage Hashtbl Instance List Option Printexc Printf

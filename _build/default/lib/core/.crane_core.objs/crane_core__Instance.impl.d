@@ -1,0 +1,1 @@
+lib/core/instance.ml: Api Crane_checkpoint Crane_dmt Crane_fs Crane_net Crane_paxos Crane_pthread Crane_sim Crane_socket Crane_storage Event List Paxos_seq Proxy Runtime Vhost

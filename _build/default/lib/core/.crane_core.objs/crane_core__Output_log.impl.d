@@ -1,0 +1,1 @@
+lib/core/output_log.ml: List Printf String

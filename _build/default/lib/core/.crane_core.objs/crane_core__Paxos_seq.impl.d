@@ -1,0 +1,1 @@
+lib/core/paxos_seq.ml: Crane_sim Event Queue

@@ -1,0 +1,1 @@
+lib/core/proxy.ml: Crane_paxos Crane_sim Crane_socket Event Hashtbl Printf Vhost

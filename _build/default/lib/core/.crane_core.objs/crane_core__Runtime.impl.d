@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Api Crane_dmt Crane_pthread Crane_sim Crane_socket Output_log Vhost

@@ -1,0 +1,1 @@
+lib/core/standalone.ml: Api Crane_dmt Crane_fs Crane_net Crane_sim Crane_socket Printexc Printf Runtime

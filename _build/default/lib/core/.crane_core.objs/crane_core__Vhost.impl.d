@@ -1,0 +1,1 @@
+lib/core/vhost.ml: Crane_dmt Crane_sim Crane_socket Event Hashtbl Output_log Paxos_seq Printf Queue

@@ -1,0 +1,95 @@
+(** The server-facing runtime interface.
+
+    A server program in this reproduction is written once against [API]
+    and runs unmodified under any of the bindings, exactly as a Linux
+    server binary runs unmodified under different [LD_PRELOAD]
+    interpositions:
+
+    - {e native}: nondeterministic Pthreads + direct sockets (the paper's
+      un-replicated baseline);
+    - {e parrot}: the DMT scheduler, sockets via PARROT's nondeterministic
+      blocking-call path ("w/ Parrot only" in Figure 14);
+    - {e crane}: DMT + socket calls virtualized over the PAXOS sequence
+      with time bubbling (the full system);
+    - {e paxos-only}: Pthreads + PAXOS-ordered socket delivery with
+      immediate admission ("w/ Paxos only" in Figure 14).
+
+    Soft barriers are PARROT's performance hints: a no-op under native. *)
+
+module Time = Crane_sim.Time
+
+module type API = sig
+  val node : string
+  (** Replica identity (host name). *)
+
+  val fs : Crane_fs.Memfs.t
+  (** The server's working/installation filesystem (checkpointed). *)
+
+  val now : unit -> Time.t
+  val sleep : Time.t -> unit
+
+  val spawn : name:string -> (unit -> unit) -> unit
+  (** pthread_create. *)
+
+  val work : Time.t -> unit
+  (** A CPU burst: occupies one core of the replica machine. *)
+
+  type mutex
+  type cond
+  type rwlock
+
+  val mutex : unit -> mutex
+  val lock : mutex -> unit
+  val unlock : mutex -> unit
+  val cond : unit -> cond
+  val cond_wait : cond -> mutex -> unit
+  val cond_signal : cond -> unit
+  val cond_broadcast : cond -> unit
+  val rwlock : unit -> rwlock
+  val rdlock : rwlock -> unit
+  val wrlock : rwlock -> unit
+  val rwunlock : rwlock -> unit
+
+  type listener
+  type conn
+
+  val listen : port:int -> listener
+  val poll : listener -> unit
+  (** Block until a connection can be accepted. *)
+
+  val accept : listener -> conn
+  val recv : conn -> max:int -> string
+  (** [""] means EOF. *)
+
+  val send : conn -> string -> unit
+  val close : conn -> unit
+  val conn_id : conn -> int
+
+  type soft_barrier
+
+  val soft_barrier : n:int -> timeout_ticks:int -> soft_barrier
+  val soft_barrier_wait : soft_barrier -> unit
+end
+
+type api = (module API)
+
+(** What a booted server hands back to the CRANE instance: the hooks the
+    checkpoint component needs (the CRIU-substitution state blob, declared
+    resident memory) and a stop switch. *)
+type handle = {
+  server_name : string;
+  state_of : unit -> string;
+  load_state : string -> unit;
+  mem_bytes : unit -> int;
+  stop : unit -> unit;
+}
+
+(** A server program, supplied to a cluster or run directly against any
+    runtime.  [install] populates the installation/working directories
+    (run before the container's base snapshot is taken, like a package
+    install); [boot] starts the server threads. *)
+type server = {
+  name : string;
+  install : Crane_fs.Memfs.t -> unit;
+  boot : api -> handle;
+}

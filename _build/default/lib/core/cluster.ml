@@ -1,0 +1,144 @@
+(** A deployed CRANE system: three (or five) replicas in a LAN, each
+    running a CRANE instance with the same server program (paper §2).
+    Handles the full lifecycle — boot, primary failure, recovery of a
+    replica from a backup's checkpoint plus log replay (§5.2). *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Rng = Crane_sim.Rng
+module Fabric = Crane_net.Fabric
+module Sock = Crane_socket.Sock
+module Wal = Crane_storage.Wal
+module Paxos = Crane_paxos.Paxos
+module Memfs = Crane_fs.Memfs
+module Manager = Crane_checkpoint.Manager
+
+type t = {
+  eng : Engine.t;
+  rng : Rng.t;
+  fabric : Fabric.t;
+  world : Sock.world;
+  members : string list;
+  cfg : Instance.config;
+  server : Api.server;
+  wals : (string, Wal.t) Hashtbl.t;
+  mutable instances : (string * Instance.t) list;
+  mutable checkpoint_node : string option;
+}
+
+let default_members = [ "replica1"; "replica2"; "replica3" ]
+
+let create ?(seed = 42) ?(members = default_members) ?(cfg = Instance.default_config)
+    ~server () =
+  let eng = Engine.create () in
+  let rng = Rng.create seed in
+  let fabric = Fabric.create eng (Rng.split rng) in
+  let world = Sock.world fabric in
+  {
+    eng;
+    rng;
+    fabric;
+    world;
+    members;
+    cfg;
+    server;
+    wals = Hashtbl.create 4;
+    instances = [];
+    checkpoint_node = None;
+  }
+
+let engine t = t.eng
+let fabric t = t.fabric
+let world t = t.world
+let members t = t.members
+let instances t = t.instances
+let instance t node = List.assoc_opt node t.instances
+
+let wal_for t node =
+  match Hashtbl.find_opt t.wals node with
+  | Some w -> w
+  | None ->
+    let w = Wal.create t.eng ~name:node in
+    Hashtbl.add t.wals node w;
+    w
+
+let boot_node t ?skip_upto ?preloaded_fs ?restore_state ?as_primary node =
+  let inst =
+    Instance.boot ~eng:t.eng ~fabric:t.fabric ~world:t.world ~rng:(Rng.split t.rng)
+      ~wal:(wal_for t node) ~members:t.members ~node ~cfg:t.cfg ~server:t.server
+      ?skip_upto ?preloaded_fs ?restore_state ?as_primary ()
+  in
+  t.instances <- t.instances @ [ (node, inst) ];
+  inst
+
+(** Boot all replicas.  The checkpoint component runs on the first backup,
+    as in the paper ("done every minute on one backup replica"). *)
+let start ?(checkpoints = true) t =
+  List.iter (fun node -> ignore (boot_node t node)) t.members;
+  match t.members with
+  | _ :: backup :: _ when checkpoints -> (
+    t.checkpoint_node <- Some backup;
+    match instance t backup with
+    | Some inst -> Instance.start_checkpointing inst
+    | None -> ())
+  | _ -> ()
+
+let primary t =
+  List.find_opt (fun (_, inst) -> Instance.is_primary inst) t.instances
+
+let primary_node t = Option.map fst (primary t)
+
+let kill t node =
+  match instance t node with
+  | Some inst ->
+    Instance.kill ~eng:t.eng inst;
+    t.instances <- List.remove_assoc node t.instances
+  | None -> ()
+
+(** The latest checkpoint available on any live replica. *)
+let latest_checkpoint t =
+  List.fold_left
+    (fun best (_, inst) ->
+      match (best, Manager.latest inst.Instance.manager) with
+      | None, c -> c
+      | Some b, Some c ->
+        Some (if c.Manager.global_index > b.Manager.global_index then c else b)
+      | Some _, None -> best)
+    None t.instances
+
+(** Restart a crashed replica: ship the latest checkpoint from a backup,
+    restore filesystem and process state, and replay decided socket calls
+    from the checkpoint's global index (paper §5.2).  Without a
+    checkpoint, replays the whole log from index 0. *)
+let restart t node =
+  let ckpt = latest_checkpoint t in
+  let skip_upto = match ckpt with Some c -> c.Manager.global_index | None -> 0 in
+  let preloaded_fs, restore_state =
+    match ckpt with
+    | None -> (None, None)
+    | Some c ->
+      (* Ship the checkpoint across the LAN: charge transfer time on the
+         image + patch bytes at ~1 Gbps. *)
+      let bytes =
+        c.Manager.image.Crane_checkpoint.Criu.mem_bytes
+        + Crane_fs.Fsdiff.patch_bytes c.Manager.fs_patch
+      in
+      Engine.at t.eng (Engine.now t.eng + (bytes * 8)) (fun () -> ());
+      let snap = Crane_fs.Fsdiff.apply ~base:c.Manager.fs_base c.Manager.fs_patch in
+      (Some (Memfs.of_snapshot snap), Some c.Manager.image.Crane_checkpoint.Criu.payload)
+  in
+  let inst = boot_node t ~skip_upto ?preloaded_fs ?restore_state node in
+  Instance.replay_from inst ~from_index:(skip_upto + 1);
+  inst
+
+let outputs t =
+  List.map (fun (node, inst) -> (node, Instance.output inst)) t.instances
+
+(** Run the simulation until [until] (or the event queue drains). *)
+let run ?until t = Engine.run ?until t.eng
+
+let check_failures t =
+  match Engine.failures t.eng with
+  | [] -> ()
+  | (name, e) :: _ ->
+    failwith (Printf.sprintf "simulated thread %s died: %s" name (Printexc.to_string e))

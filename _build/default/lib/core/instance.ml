@@ -1,0 +1,167 @@
+(** A CRANE instance: one replica's assembly of proxy, PAXOS consensus,
+    DMT scheduler, time bubbling, checkpoint component and the server
+    program (paper Figure 1). *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Rng = Crane_sim.Rng
+module Cores = Crane_sim.Cores
+module Fabric = Crane_net.Fabric
+module Sock = Crane_socket.Sock
+module Pthread = Crane_pthread.Pthread
+module Dmt = Crane_dmt.Dmt
+module Wal = Crane_storage.Wal
+module Paxos = Crane_paxos.Paxos
+module Memfs = Crane_fs.Memfs
+module Container = Crane_fs.Container
+module Manager = Crane_checkpoint.Manager
+
+type mode =
+  | Full  (** DMT + time bubbling: the CRANE system *)
+  | No_bubbling  (** plan II of §7.2: DMT + PAXOS, bubbling disabled *)
+  | Paxos_only  (** Figure 14's "w/ Paxos only": no DMT *)
+
+type config = {
+  mode : mode;
+  wtimeout : Time.t;
+  nclock : int;
+  usleep : Time.t;
+  cores : int;
+  service_port : int;
+  turn_cost : Time.t;
+  idle_period : Time.t;
+  pthread_cost : Pthread.cost;
+  paxos : Paxos.config;
+  checkpoint_period : Time.t;
+  container_stop : Time.t;  (** LXC stop cost (daemon-dependent, §5.2) *)
+  container_start : Time.t;  (** LXC start cost *)
+}
+
+let default_config =
+  {
+    mode = Full;
+    wtimeout = Time.us 100;
+    nclock = 1000;
+    usleep = Time.us 10;
+    cores = 24;
+    service_port = 80;
+    turn_cost = Time.ns 150;
+    idle_period = Time.us 10;
+    pthread_cost = Pthread.default_cost;
+    paxos = Paxos.default_config;
+    checkpoint_period = Time.sec 60;
+    container_stop = Time.ms 1200;
+    container_start = Time.ms 2200;
+  }
+
+type t = {
+  node : string;
+  group : Engine.group;
+  cfg : config;
+  fsys : Memfs.t;
+  container : Container.t;
+  cores : Cores.t;
+  vhost : Vhost.t;
+  proxy : Proxy.t;
+  paxos : Paxos.t;
+  dmt : Dmt.t option;
+  runtime : Runtime.t;
+  handle : Api.handle;
+  manager : Manager.t;
+}
+
+let vhost_config (cfg : config) =
+  {
+    Vhost.wtimeout = cfg.wtimeout;
+    nclock = cfg.nclock;
+    bubbling = (match cfg.mode with Full -> true | No_bubbling | Paxos_only -> false);
+    usleep = cfg.usleep;
+  }
+
+(** Boot a replica.  [skip_upto] > 0 means the server state was restored
+    from a checkpoint taken at that global index: decisions up to it are
+    not re-delivered.  [preloaded_fs] supplies the restored filesystem. *)
+let boot ~eng ~fabric ~world ~rng ~wal ~members ~node ~(cfg : config) ~(server : Api.server)
+    ?(skip_upto = 0) ?preloaded_fs ?restore_state ?(as_primary = false) () =
+  let group = Engine.new_group eng in
+  Fabric.node_up fabric node;
+  Engine.on_kill eng group (fun () ->
+      Fabric.node_down fabric node;
+      Sock.node_crashed world node);
+  let fsys =
+    match preloaded_fs with
+    | Some fs -> fs
+    | None ->
+      let fs = Memfs.create () in
+      server.Api.install fs;
+      fs
+  in
+    let container =
+    Container.create eng ~name:(node ^ "-lxc") ~stop_cost:cfg.container_stop
+      ~start_cost:cfg.container_start fsys
+  in
+  let cores = Cores.create eng cfg.cores in
+  let paxos =
+    Paxos.create ~config:cfg.paxos ~fabric ~rng:(Rng.split rng) ~wal ~members ~node
+      ~group ()
+  in
+  let dmt, clocking =
+    match cfg.mode with
+    | Full | No_bubbling ->
+      let dmt = Dmt.create ~turn_cost:cfg.turn_cost ~idle_period:cfg.idle_period eng in
+      (Some dmt, Vhost.Clocked dmt)
+    | Paxos_only -> (None, Vhost.Immediate)
+  in
+  let vhost = Vhost.create eng ~cfg:(vhost_config cfg) ~clocking in
+  let proxy =
+    Proxy.create ~eng ~node ~world ~port:cfg.service_port ~paxos ~vhost ~group
+      ~skip_upto ()
+  in
+  let runtime =
+    match (cfg.mode, dmt) with
+    | (Full | No_bubbling), Some dmt ->
+      Runtime.crane ~eng ~node ~fs:fsys ~cores ~dmt ~vhost ()
+    | Paxos_only, None ->
+      Runtime.paxos_only ~cost:cfg.pthread_cost ~eng ~node ~fs:fsys ~cores
+        ~rng:(Rng.split rng) ~vhost ()
+    | (Full | No_bubbling), None | Paxos_only, Some _ -> assert false
+  in
+  (* Boot the server program inside the instance. *)
+  let handle = server.Api.boot runtime.Runtime.api in
+  (match restore_state with Some state -> handle.Api.load_state state | None -> ());
+  let manager =
+    (* Quiescence for a checkpoint means no alive connections AND no
+       decided-but-unconsumed client calls in the PAXOS sequence: the
+       recorded global index must reflect everything the server's state
+       embodies, or replay from it would drop requests. *)
+    Manager.create eng ~container
+      ~state_of:handle.Api.state_of
+      ~mem_bytes:handle.Api.mem_bytes
+      ~alive_conns:(fun () ->
+        runtime.Runtime.alive_conns () + Paxos_seq.queued_calls (Vhost.seq vhost))
+      ~global_index:(fun () -> Paxos.applied paxos)
+  in
+  Paxos.start paxos ~as_primary ();
+  { node; group; cfg; fsys; container; cores; vhost; proxy; paxos; dmt; runtime;
+    handle; manager }
+
+(** Replay decided-but-post-checkpoint socket calls into the server. *)
+let replay_from t ~from_index =
+  let values =
+    Paxos.get_committed_range t.paxos ~lo:from_index ~hi:(Paxos.committed t.paxos)
+  in
+  List.iter (fun v -> Vhost.deliver t.vhost (Event.decode v)) values
+
+let start_checkpointing t =
+  Manager.start_periodic t.manager ~period:t.cfg.checkpoint_period ~group:t.group ()
+
+let kill ~eng t =
+  Vhost.stop t.vhost;
+  (match t.dmt with Some d -> Dmt.stop d | None -> ());
+  Proxy.stop t.proxy;
+  Engine.kill_group eng t.group
+
+let is_primary t = Paxos.is_primary t.paxos
+let output t = Vhost.output t.vhost
+let node t = t.node
+let seq_stats t = (Paxos_seq.calls (Vhost.seq t.vhost), Paxos_seq.bubbles (Vhost.seq t.vhost))

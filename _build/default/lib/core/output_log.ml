@@ -1,0 +1,46 @@
+(** Per-replica log of the server's outgoing socket calls (paper §7.2).
+
+    Records the order and contents of everything the server sent; the
+    consistency experiment diffs these logs across replicas.  As in the
+    paper, responses are identical "except physical times", so the
+    comparison can normalize away timestamp header lines. *)
+
+type entry = { conn : int; payload : string }
+
+type t = { mutable entries : entry list (* newest first *) }
+
+let create () = { entries = [] }
+let record t ~conn payload = t.entries <- { conn; payload } :: t.entries
+let entries t = List.rev t.entries
+let length t = List.length t.entries
+
+(* Strip lines that carry physical time (HTTP Date headers and our
+   servers' "X-Time:" equivalents). *)
+let normalize_payload payload =
+  String.split_on_char '\n' payload
+  |> List.filter (fun line ->
+         not
+           (String.starts_with ~prefix:"Date:" line
+           || String.starts_with ~prefix:"X-Time:" line))
+  |> String.concat "\n"
+
+let render ?(strip_times = true) t =
+  entries t
+  |> List.map (fun { conn; payload } ->
+         Printf.sprintf "[%d]%s" conn
+           (if strip_times then normalize_payload payload else payload))
+  |> String.concat "\x00"
+
+let equal ?strip_times a b = String.equal (render ?strip_times a) (render ?strip_times b)
+
+(* First index where two logs disagree, for diagnostics. *)
+let first_divergence ?(strip_times = true) a b =
+  let norm e =
+    (e.conn, if strip_times then normalize_payload e.payload else e.payload)
+  in
+  let rec go i = function
+    | [], [] -> None
+    | x :: xs, y :: ys -> if norm x = norm y then go (i + 1) (xs, ys) else Some i
+    | _ :: _, [] | [], _ :: _ -> Some i
+  in
+  go 0 (entries a, entries b)

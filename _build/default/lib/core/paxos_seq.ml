@@ -1,0 +1,95 @@
+(** The PAXOS sequence (paper §3.2): the queue of decided client socket
+    calls and time bubbles between a replica's proxy and its server
+    process (Boost shared memory in the paper).  The server's wrappers
+    admit calls from its head; bubbles at the head are drained one logical
+    clock at a time. *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+
+type t = {
+  eng : Engine.t;
+  q : Event.t Queue.t;
+  mutable bubble_left : int;
+      (* Remaining logical clocks of a bubble currently at the head
+         (0 = the head is whatever [q] starts with). *)
+  mutable last_nonempty : Time.t;
+      (* Last instant the sequence held (or received) an entry: the
+         Wtimeout reference point. *)
+  mutable calls : int; (* client socket-call entries appended *)
+  mutable bubbles : int; (* time-bubble entries appended *)
+  mutable queued_calls : int; (* client calls delivered but not yet consumed *)
+}
+
+let create eng =
+  {
+    eng;
+    q = Queue.create ();
+    bubble_left = 0;
+    last_nonempty = Engine.now eng;
+    calls = 0;
+    bubbles = 0;
+    queued_calls = 0;
+  }
+
+let append t ev =
+  Queue.add ev t.q;
+  t.last_nonempty <- Engine.now t.eng;
+  if Event.is_bubble ev then t.bubbles <- t.bubbles + 1
+  else begin
+    t.calls <- t.calls + 1;
+    t.queued_calls <- t.queued_calls + 1
+  end
+
+(* Promote a bubble reaching the head of the queue into the counter. *)
+let normalize t =
+  if t.bubble_left = 0 then
+    match Queue.peek_opt t.q with
+    | Some (Event.Time_bubble { nclock }) ->
+      ignore (Queue.pop t.q);
+      t.bubble_left <- nclock
+    | Some _ | None -> ()
+
+let head t =
+  normalize t;
+  if t.bubble_left > 0 then Some (Event.Time_bubble { nclock = t.bubble_left })
+  else Queue.peek_opt t.q
+
+let drop_head t =
+  normalize t;
+  if t.bubble_left > 0 then invalid_arg "Paxos_seq.drop_head: head is a bubble"
+  else begin
+    let ev = Queue.pop t.q in
+    if not (Event.is_bubble ev) then t.queued_calls <- t.queued_calls - 1
+  end
+
+let is_empty t =
+  normalize t;
+  t.bubble_left = 0 && Queue.is_empty t.q
+
+let empty_for t =
+  if is_empty t then Engine.now t.eng - t.last_nonempty else Time.zero
+
+(* Drain the whole bubble at the head, returning its remaining clocks. *)
+let drain_bubble t =
+  normalize t;
+  let n = t.bubble_left in
+  t.bubble_left <- 0;
+  n
+
+(* Consume one logical clock from the bubble at the head. *)
+let decrement_bubble t =
+  normalize t;
+  if t.bubble_left > 0 then t.bubble_left <- t.bubble_left - 1
+  else invalid_arg "Paxos_seq.decrement_bubble: head is not a bubble"
+
+(* Consume up to [n] logical clocks from the bubble at the head. *)
+let drain_bubble_upto t n =
+  normalize t;
+  if t.bubble_left > 0 then t.bubble_left <- max 0 (t.bubble_left - n)
+  else invalid_arg "Paxos_seq.drain_bubble_upto: head is not a bubble"
+
+let length t = Queue.length t.q + if t.bubble_left > 0 then 1 else 0
+let queued_calls t = t.queued_calls
+let calls t = t.calls
+let bubbles t = t.bubbles

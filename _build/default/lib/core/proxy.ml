@@ -1,0 +1,152 @@
+(** The proxy component (paper §2.1): a CRANE instance's gateway.
+
+    On the primary it accepts client connections, treats each incoming
+    socket call (connect / send / close) as an input request and submits
+    it to the PAXOS component; decided calls are forwarded — on every
+    replica — to the local server through the PAXOS sequence, in decision
+    order.  Server responses are relayed to clients on the primary and
+    dropped on backups.  Backup proxies do not serve clients: a client
+    reaching one sees its connection closed and retries elsewhere.
+
+    The proxy also owns the primary side of time bubbling (Figure 13
+    steps 2-3): bubble requests from the local DMT are turned into
+    consensus proposals when this node believes itself primary, and are
+    dropped otherwise. *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Sock = Crane_socket.Sock
+module Paxos = Crane_paxos.Paxos
+
+type t = {
+  eng : Engine.t;
+  node : string;
+  world : Sock.world;
+  port : int;
+  paxos : Paxos.t;
+  vhost : Vhost.t;
+  group : Engine.group;
+  client_conns : (int, Sock.conn) Hashtbl.t;
+  orphans_closed : (int, unit) Hashtbl.t;
+  mutable skip_upto : int; (* decisions already captured by a restored checkpoint *)
+  mutable bubbles_proposed : int;
+  mutable calls_proposed : int;
+  mutable stopped : bool;
+}
+
+let submit t ev =
+  let accepted = Paxos.submit t.paxos (Event.encode ev) in
+  if accepted then
+    if Event.is_bubble ev then t.bubbles_proposed <- t.bubbles_proposed + 1
+    else t.calls_proposed <- t.calls_proposed + 1;
+  accepted
+
+(* Per-client pump: every chunk of bytes the client sends is one Send
+   request; EOF becomes Close. *)
+let client_rx_loop t conn =
+  let id = Sock.id conn in
+  let rec loop () =
+    let data = Sock.recv conn ~max:65536 in
+    if data = "" then begin
+      Hashtbl.remove t.client_conns id;
+      ignore (submit t (Event.Close { conn = id }))
+    end
+    else if submit t (Event.Send { conn = id; payload = data }) then loop ()
+    else begin
+      (* Lost primaryship mid-stream: shed the client so it can retry. *)
+      Hashtbl.remove t.client_conns id;
+      Sock.close conn
+    end
+  in
+  loop ()
+
+let acceptor_loop t listener =
+  while not t.stopped do
+    let conn = Sock.accept listener in
+    if Paxos.is_primary t.paxos then begin
+      let id = Sock.id conn in
+      Hashtbl.replace t.client_conns id conn;
+      if submit t (Event.Connect { conn = id; port = t.port }) then
+        Engine.spawn t.eng ~group:t.group
+          ~name:(Printf.sprintf "proxy-rx-%d" id)
+          (fun () -> client_rx_loop t conn)
+      else begin
+        Hashtbl.remove t.client_conns id;
+        Sock.close conn
+      end
+    end
+    else Sock.close conn (* backups do not serve clients *)
+  done
+
+(* After a failover the new primary's server still holds connections whose
+   clients were attached to the dead primary.  Close them through
+   consensus so all replicas' servers clean up identically. *)
+let close_orphans t =
+  if Paxos.is_primary t.paxos then
+    Hashtbl.iter
+      (fun vid (c : Vhost.vconn) ->
+        if
+          (not c.Vhost.vclosed) && (not c.Vhost.veof)
+          && (not (Hashtbl.mem t.client_conns vid))
+          && not (Hashtbl.mem t.orphans_closed vid)
+        then begin
+          Hashtbl.add t.orphans_closed vid ();
+          ignore (submit t (Event.Close { conn = vid }))
+        end)
+      t.vhost.Vhost.conns
+
+let rec orphan_monitor t =
+  Engine.after t.eng ~group:t.group (Time.ms 100) (fun () ->
+      close_orphans t;
+      orphan_monitor t)
+
+let create ~eng ~node ~world ~port ~paxos ~vhost ~group ~skip_upto () =
+  let t =
+    {
+      eng;
+      node;
+      world;
+      port;
+      paxos;
+      vhost;
+      group;
+      client_conns = Hashtbl.create 64;
+      orphans_closed = Hashtbl.create 64;
+      skip_upto;
+      bubbles_proposed = 0;
+      calls_proposed = 0;
+      stopped = false;
+    }
+  in
+  (* Server -> client path. *)
+  Vhost.set_respond vhost (fun ~conn payload ->
+      if Paxos.is_primary t.paxos then
+        match Hashtbl.find_opt t.client_conns conn with
+        | Some c -> ( try Sock.send c payload with Sock.Connection_closed -> ())
+        | None -> ());
+  Vhost.set_on_server_close vhost (fun conn ->
+      if Paxos.is_primary t.paxos then
+        match Hashtbl.find_opt t.client_conns conn with
+        | Some c ->
+          Hashtbl.remove t.client_conns conn;
+          Sock.close c
+        | None -> ());
+  (* DMT -> consensus path for time bubbles (Figure 13). *)
+  Vhost.set_request_bubble vhost (fun () ->
+      if Paxos.is_primary t.paxos then
+        ignore (submit t (Event.Time_bubble { nclock = Vhost.nclock vhost })));
+  (* Consensus -> server path, in decision order. *)
+  Paxos.on_commit paxos (fun ~index value ->
+      if index > t.skip_upto then Vhost.deliver vhost (Event.decode value));
+  (* Client -> consensus path. *)
+  let listener = Sock.listen world ~node ~port in
+  Engine.on_kill eng group (fun () -> Sock.close_listener listener);
+  Engine.spawn eng ~group ~name:(node ^ "-proxy-acceptor") (fun () ->
+      acceptor_loop t listener);
+  orphan_monitor t;
+  t
+
+let stop t = t.stopped <- true
+let bubbles_proposed t = t.bubbles_proposed
+let calls_proposed t = t.calls_proposed
+let client_count t = Hashtbl.length t.client_conns

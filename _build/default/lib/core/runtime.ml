@@ -1,0 +1,260 @@
+(** Runtime bindings: the same server code runs under any of these, the
+    way a binary runs under different LD_PRELOAD interpositions.
+
+    {!native} — Pthreads + direct sockets (un-replicated baseline).
+    {!parrot} — DMT; blocking socket calls keep network-arrival
+    nondeterminism via PARROT's socket queue ("w/ Parrot only").
+    {!crane} — DMT + PAXOS-sequence admission (the full system, or plan
+    II when the vhost's bubbling flag is off).
+    {!paxos_only} — Pthreads + immediate PAXOS-ordered delivery. *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Rng = Crane_sim.Rng
+module Cores = Crane_sim.Cores
+module Sock = Crane_socket.Sock
+module Pthread = Crane_pthread.Pthread
+module Dmt = Crane_dmt.Dmt
+
+type t = {
+  api : Api.api;
+  output : Output_log.t;  (** outgoing socket calls, for §7.2 comparisons *)
+  alive_conns : unit -> int;
+  sync_context_switches : unit -> int;
+}
+
+(* Shared plumbing for the two direct-socket runtimes. *)
+module type DIRECT_SOCKET = sig
+  type listener = Sock.listener
+  type conn = Sock.conn
+
+  val listen : port:int -> listener
+  val poll : listener -> unit
+  val accept : listener -> conn
+  val recv : conn -> max:int -> string
+  val send : conn -> string -> unit
+  val close : conn -> unit
+  val conn_id : conn -> int
+end
+
+type blocking_wrapper = { wrap : 'a. (unit -> 'a) -> 'a }
+
+module Direct_socket = struct
+  let make ~world ~node ~output ~open_conns ~(wrap_blocking : blocking_wrapper) =
+    let module M = struct
+      type listener = Sock.listener
+      type conn = Sock.conn
+
+      let listen ~port = Sock.listen world ~node ~port
+      let poll l = ignore (wrap_blocking.wrap (fun () -> Sock.wait_acceptable l))
+
+      let accept l =
+        let c = wrap_blocking.wrap (fun () -> Sock.accept l) in
+        incr open_conns;
+        c
+
+      let recv c ~max = wrap_blocking.wrap (fun () -> Sock.recv c ~max)
+
+      let send c payload =
+        Output_log.record output ~conn:(Sock.id c) payload;
+        try Sock.send c payload with Sock.Connection_closed -> ()
+
+      let close c =
+        if Sock.is_open c then decr open_conns;
+        Sock.close c
+
+      let conn_id = Sock.id
+    end in
+    (module M : DIRECT_SOCKET)
+end
+
+let native ?(cost = Pthread.default_cost) ~eng ~world ~node ~fs ~cores ~rng () =
+  let pt = Pthread.create ~cost eng rng in
+  let output = Output_log.create () in
+  let open_conns = ref 0 in
+  let module S =
+    (val Direct_socket.make ~world ~node ~output ~open_conns
+           ~wrap_blocking:{ wrap = (fun f -> f ()) })
+  in
+  let module M = struct
+    let node = node
+    let fs = fs
+    let now () = Engine.now eng
+    let sleep d = Engine.sleep eng d
+    let spawn ~name body = Engine.spawn eng ~name body
+    let work d = Cores.work cores d
+
+    type mutex = Pthread.Mutex.m
+    type cond = Pthread.Cond.c
+    type rwlock = Pthread.Rwlock.rw
+
+    let mutex () = Pthread.Mutex.create pt
+    let lock = Pthread.Mutex.lock
+    let unlock = Pthread.Mutex.unlock
+    let cond () = Pthread.Cond.create pt
+    let cond_wait = Pthread.Cond.wait
+    let cond_signal = Pthread.Cond.signal
+    let cond_broadcast = Pthread.Cond.broadcast
+    let rwlock () = Pthread.Rwlock.create pt
+    let rdlock = Pthread.Rwlock.rdlock
+    let wrlock = Pthread.Rwlock.wrlock
+    let rwunlock = Pthread.Rwlock.unlock
+
+    include S
+
+    (* Hints are PARROT-specific: a no-op under plain Pthreads. *)
+    type soft_barrier = unit
+
+    let soft_barrier ~n:_ ~timeout_ticks:_ = ()
+    let soft_barrier_wait () = ()
+  end in
+  {
+    api = (module M : Api.API);
+    output;
+    alive_conns = (fun () -> !open_conns);
+    sync_context_switches = (fun () -> Pthread.context_switches pt);
+  }
+
+let parrot ?turn_cost ?idle_period ~eng ~world ~node ~fs ~cores () =
+  let dmt = Dmt.create ?turn_cost ?idle_period eng in
+  let output = Output_log.create () in
+  let open_conns = ref 0 in
+  let module S =
+    (val Direct_socket.make ~world ~node ~output ~open_conns
+           ~wrap_blocking:{ wrap = (fun f -> Dmt.block_external dmt f) })
+  in
+  let module M = struct
+    let node = node
+    let fs = fs
+    let now () = Engine.now eng
+    let sleep d = Engine.sleep eng d
+    let spawn ~name body = Dmt.spawn dmt ~name body
+    let work d = Cores.work cores d
+
+    type mutex = Dmt.Mutex.m
+    type cond = Dmt.Cond.c
+    type rwlock = Dmt.Rwlock.rw
+
+    let mutex () = Dmt.Mutex.create dmt
+    let lock = Dmt.Mutex.lock
+    let unlock = Dmt.Mutex.unlock
+    let cond () = Dmt.Cond.create dmt
+    let cond_wait = Dmt.Cond.wait
+    let cond_signal = Dmt.Cond.signal
+    let cond_broadcast = Dmt.Cond.broadcast
+    let rwlock () = Dmt.Rwlock.create dmt
+    let rdlock = Dmt.Rwlock.rdlock
+    let wrlock = Dmt.Rwlock.wrlock
+    let rwunlock = Dmt.Rwlock.unlock
+
+    include S
+
+    type soft_barrier = Dmt.Soft_barrier.sb
+
+    let soft_barrier ~n ~timeout_ticks = Dmt.Soft_barrier.create dmt ~n ~timeout_ticks
+    let soft_barrier_wait = Dmt.Soft_barrier.wait
+  end in
+  ( {
+      api = (module M : Api.API);
+      output;
+      alive_conns = (fun () -> !open_conns);
+      sync_context_switches = (fun () -> Dmt.context_switches dmt);
+    },
+    dmt )
+
+let crane ~eng ~node ~fs ~cores ~dmt ~vhost () =
+  let module M = struct
+    let node = node
+    let fs = fs
+    let now () = Engine.now eng
+    let sleep d = Engine.sleep eng d
+    let spawn ~name body = Dmt.spawn dmt ~name body
+    let work d = Cores.work cores d
+
+    type mutex = Dmt.Mutex.m
+    type cond = Dmt.Cond.c
+    type rwlock = Dmt.Rwlock.rw
+
+    let mutex () = Dmt.Mutex.create dmt
+    let lock = Dmt.Mutex.lock
+    let unlock = Dmt.Mutex.unlock
+    let cond () = Dmt.Cond.create dmt
+    let cond_wait = Dmt.Cond.wait
+    let cond_signal = Dmt.Cond.signal
+    let cond_broadcast = Dmt.Cond.broadcast
+    let rwlock () = Dmt.Rwlock.create dmt
+    let rdlock = Dmt.Rwlock.rdlock
+    let wrlock = Dmt.Rwlock.wrlock
+    let rwunlock = Dmt.Rwlock.unlock
+
+    type listener = Vhost.vlistener
+    type conn = Vhost.vconn
+
+    let listen ~port = Vhost.listen vhost ~port
+    let poll l = Vhost.poll vhost l
+    let accept l = Vhost.accept vhost l
+    let recv c ~max = Vhost.recv vhost c ~max
+    let send c payload = Vhost.send vhost c payload
+    let close c = Vhost.close vhost c
+    let conn_id = Vhost.conn_id
+
+    type soft_barrier = Dmt.Soft_barrier.sb
+
+    let soft_barrier ~n ~timeout_ticks = Dmt.Soft_barrier.create dmt ~n ~timeout_ticks
+    let soft_barrier_wait = Dmt.Soft_barrier.wait
+  end in
+  {
+    api = (module M : Api.API);
+    output = Vhost.output vhost;
+    alive_conns = (fun () -> Vhost.open_conns vhost);
+    sync_context_switches = (fun () -> Dmt.context_switches dmt);
+  }
+
+let paxos_only ?(cost = Pthread.default_cost) ~eng ~node ~fs ~cores ~rng ~vhost () =
+  let pt = Pthread.create ~cost eng rng in
+  let module M = struct
+    let node = node
+    let fs = fs
+    let now () = Engine.now eng
+    let sleep d = Engine.sleep eng d
+    let spawn ~name body = Engine.spawn eng ~name body
+    let work d = Cores.work cores d
+
+    type mutex = Pthread.Mutex.m
+    type cond = Pthread.Cond.c
+    type rwlock = Pthread.Rwlock.rw
+
+    let mutex () = Pthread.Mutex.create pt
+    let lock = Pthread.Mutex.lock
+    let unlock = Pthread.Mutex.unlock
+    let cond () = Pthread.Cond.create pt
+    let cond_wait = Pthread.Cond.wait
+    let cond_signal = Pthread.Cond.signal
+    let cond_broadcast = Pthread.Cond.broadcast
+    let rwlock () = Pthread.Rwlock.create pt
+    let rdlock = Pthread.Rwlock.rdlock
+    let wrlock = Pthread.Rwlock.wrlock
+    let rwunlock = Pthread.Rwlock.unlock
+
+    type listener = Vhost.vlistener
+    type conn = Vhost.vconn
+
+    let listen ~port = Vhost.listen vhost ~port
+    let poll l = Vhost.poll vhost l
+    let accept l = Vhost.accept vhost l
+    let recv c ~max = Vhost.recv vhost c ~max
+    let send c payload = Vhost.send vhost c payload
+    let close c = Vhost.close vhost c
+    let conn_id = Vhost.conn_id
+
+    type soft_barrier = unit
+
+    let soft_barrier ~n:_ ~timeout_ticks:_ = ()
+    let soft_barrier_wait () = ()
+  end in
+  {
+    api = (module M : Api.API);
+    output = Vhost.output vhost;
+    alive_conns = (fun () -> Vhost.open_conns vhost);
+    sync_context_switches = (fun () -> Pthread.context_switches pt);
+  }

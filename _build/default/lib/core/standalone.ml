@@ -1,0 +1,59 @@
+(** Un-replicated deployments for the paper's baselines: the same server
+    program on a single machine, under plain Pthreads (the nondeterministic
+    baseline of Figure 14) or under PARROT alone ("w/ Parrot only"). *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Rng = Crane_sim.Rng
+module Cores = Crane_sim.Cores
+module Fabric = Crane_net.Fabric
+module Sock = Crane_socket.Sock
+module Memfs = Crane_fs.Memfs
+
+type mode = Native | Parrot
+
+type t = {
+  eng : Engine.t;
+  fabric : Fabric.t;
+  world : Sock.world;
+  node : string;
+  runtime : Runtime.t;
+  handle : Api.handle;
+  dmt : Crane_dmt.Dmt.t option;
+}
+
+let boot ?(seed = 42) ?(node = "server") ?(cores = 24) ?turn_cost
+    ?pthread_cost ~mode ~(server : Api.server) () =
+  let eng = Engine.create () in
+  let rng = Rng.create seed in
+  let fabric = Fabric.create eng (Rng.split rng) in
+  let world = Sock.world fabric in
+  let fs = Memfs.create () in
+  server.Api.install fs;
+  let pool = Cores.create eng cores in
+  let runtime, dmt =
+    match mode with
+    | Native ->
+      ( Runtime.native ?cost:pthread_cost ~eng ~world ~node ~fs ~cores:pool
+          ~rng:(Rng.split rng) (),
+        None )
+    | Parrot ->
+      let rt, dmt = Runtime.parrot ?turn_cost ~eng ~world ~node ~fs ~cores:pool () in
+      (rt, Some dmt)
+  in
+  let handle = server.Api.boot runtime.Runtime.api in
+  { eng; fabric; world; node; runtime; handle; dmt }
+
+let engine t = t.eng
+let world t = t.world
+let output t = t.runtime.Runtime.output
+
+let stop t =
+  t.handle.Api.stop ();
+  match t.dmt with Some d -> Crane_dmt.Dmt.stop d | None -> ()
+
+let check_failures t =
+  match Engine.failures t.eng with
+  | [] -> ()
+  | (name, e) :: _ ->
+    failwith (Printf.sprintf "simulated thread %s died: %s" name (Printexc.to_string e))

@@ -1,0 +1,395 @@
+(** The server-side virtual socket host: CRANE's synchronization wrappers
+    (paper §3.2, Figures 10-11) plus the time-bubbling gate (§4).
+
+    A replica's server program never touches the network: its blocking
+    socket calls are admitted from the head of the local PAXOS sequence.
+    In {e clocked} mode (the real system) admission happens at
+    deterministic logical clocks: the gate — the paper's
+    [check_add_timebubble], installed into every DMT lock wrapper and the
+    idle thread — blocks while the sequence is empty (so logical clocks
+    only tick when it is not), requests a time bubble from the proxy after
+    Wtimeout of emptiness, drains bubbles one clock at a time, and signals
+    the thread blocked on the socket object matching the head entry.
+
+    In {e immediate} mode ("w/ Paxos only" and the plan-II ablation's
+    building block) entries are admitted the moment consensus delivers
+    them, so admission clocks differ across replicas — which is the point
+    of those baselines. *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Dmt = Crane_dmt.Dmt
+module Bytestream = Crane_socket.Bytestream
+
+type config = {
+  wtimeout : Time.t;  (** empty-sequence duration before requesting a bubble (default 100 us) *)
+  nclock : int;  (** logical clocks granted per bubble (default 1000) *)
+  bubbling : bool;  (** plan II of §7.2 sets this false *)
+  usleep : Time.t;  (** polling period of Figure 10's usleep (default 10 us) *)
+}
+
+let default_config =
+  { wtimeout = Time.us 100; nclock = 1000; bubbling = true; usleep = Time.us 10 }
+
+type signal_obj =
+  | Dobj of int  (* DMT wait-queue object (clocked mode) *)
+  | Raw of (unit -> bool) Queue.t  (* engine wakers (immediate mode) *)
+
+type vconn = {
+  vid : int;
+  buf : Bytestream.t;
+  mutable veof : bool;
+  mutable vclosed : bool;
+  cobj : signal_obj;
+}
+
+type vlistener = {
+  lport : int;
+  lobj : signal_obj;
+  pending : int Queue.t; (* immediate mode: admitted connection ids *)
+}
+
+type clocking = Clocked of Dmt.t | Immediate
+
+type t = {
+  eng : Engine.t;
+  cfg : config;
+  clocking : clocking;
+  seq : Paxos_seq.t;
+  conns : (int, vconn) Hashtbl.t;
+  listeners : (int, vlistener) Hashtbl.t;
+  output : Output_log.t;
+  mutable respond : conn:int -> string -> unit;
+  mutable on_server_close : int -> unit;
+  mutable request_bubble : unit -> unit;
+  mutable last_bubble_request : Time.t;
+  mutable stopped : bool;
+  mutable open_conns : int;
+  mutable admitted : int;
+  mutable last_gate_clock : int;
+  (* gate statistics *)
+  mutable bulk_drains : int;
+  mutable delta_drained : int;
+  mutable gate_blocks : int;
+  mutable gate_block_time : Time.t;
+}
+
+let new_signal_obj t =
+  match t.clocking with
+  | Clocked dmt -> Dobj (Dmt.new_obj dmt)
+  | Immediate -> Raw (Queue.create ())
+
+let make_vconn t vid =
+  let c =
+    { vid; buf = Bytestream.create (); veof = false; vclosed = false;
+      cobj = new_signal_obj t }
+  in
+  Hashtbl.replace t.conns vid c;
+  t.open_conns <- t.open_conns + 1;
+  c
+
+let signal_one t obj =
+  match (t.clocking, obj) with
+  | Clocked dmt, Dobj o -> Dmt.signal dmt ~obj:o
+  | _, Raw q ->
+    let rec go () =
+      match Queue.take_opt q with
+      | None -> ()
+      | Some wake -> if not (wake ()) then go ()
+    in
+    go ()
+  | Immediate, Dobj _ -> assert false
+
+(* The gate — paper Figure 10, [check_add_timebubble].  Runs with the DMT
+   turn held (from lock wrappers and the idle thread). *)
+let gate t =
+  if t.cfg.bubbling && Paxos_seq.is_empty t.seq then begin
+    let t0 = Engine.now t.eng in
+    t.gate_blocks <- t.gate_blocks + 1;
+    while Paxos_seq.is_empty t.seq && not t.stopped do
+      let now = Engine.now t.eng in
+      if
+        Paxos_seq.empty_for t.seq >= t.cfg.wtimeout
+        && now - t.last_bubble_request >= t.cfg.wtimeout
+      then begin
+        t.last_bubble_request <- now;
+        t.request_bubble ()
+      end;
+      Engine.sleep t.eng t.cfg.usleep
+    done;
+    t.gate_block_time <- t.gate_block_time + (Engine.now t.eng - t0)
+  end;
+  (* A bubble promises Nclock *synchronizations* (every turn handoff
+     ticks the logical clock), but this hook only runs on lock wrappers
+     and idle cycles: charge the ticks elapsed since the previous gate
+     call so bubbles drain at the scheduler's real synchronization rate. *)
+  let tick_delta =
+    match t.clocking with
+    | Clocked dmt ->
+      let now_clock = Dmt.clock dmt in
+      let delta = max 1 (now_clock - t.last_gate_clock) in
+      t.last_gate_clock <- now_clock;
+      delta
+    | Immediate -> 1
+  in
+  match Paxos_seq.head t.seq with
+  | None -> ()
+  | Some (Event.Time_bubble _) -> (
+    match t.clocking with
+    | Clocked dmt when Dmt.run_queue_length dmt = 1 ->
+      (* Only the idle thread is runnable.  Drain the bubble at a paced
+         rate rather than instantly: a bubble must outlive the short
+         quiet gaps between request arrivals (that is its whole job —
+         §4's bursts), while still being exhausted "rapidly" relative to
+         request processing times.  One pacing sleep drains a few clocks,
+         so a default bubble spans ~1 ms of true quiescence. *)
+      t.bulk_drains <- t.bulk_drains + 1;
+      (* Chunked pacing (10x usleep per chunk) keeps the idle event rate
+         low without changing the ~1 us/clock drain rate. *)
+      let chunk = t.cfg.usleep * 10 in
+      Engine.sleep t.eng chunk;
+      let per_cycle = max 1 (chunk / Time.us 1) in
+      Paxos_seq.drain_bubble_upto t.seq per_cycle;
+      Dmt.advance_clock dmt (per_cycle - 1)
+    | Clocked _ ->
+      t.delta_drained <- t.delta_drained + 1;
+      Paxos_seq.drain_bubble_upto t.seq tick_delta
+    | Immediate -> Paxos_seq.decrement_bubble t.seq)
+  | Some (Event.Connect { port; _ }) -> (
+    match Hashtbl.find_opt t.listeners port with
+    | Some l -> signal_one t l.lobj
+    | None -> () (* server not listening yet: leave at head *))
+  | Some (Event.Send { conn; _ } | Event.Close { conn }) -> (
+    match Hashtbl.find_opt t.conns conn with
+    | Some c when not c.vclosed -> signal_one t c.cobj
+    | Some _ | None ->
+      (* The server already closed this connection (or never had it):
+         discard, or the sequence would jam. *)
+      Paxos_seq.drop_head t.seq)
+
+let create eng ~cfg ~clocking =
+  let t =
+    {
+      eng;
+      cfg;
+      clocking;
+      seq = Paxos_seq.create eng;
+      conns = Hashtbl.create 64;
+      listeners = Hashtbl.create 4;
+      output = Output_log.create ();
+      respond = (fun ~conn:_ _ -> ());
+      on_server_close = (fun _ -> ());
+      request_bubble = (fun () -> ());
+      last_bubble_request = Time.zero;
+      stopped = false;
+      open_conns = 0;
+      admitted = 0;
+      last_gate_clock = 0;
+      bulk_drains = 0;
+      delta_drained = 0;
+      gate_blocks = 0;
+      gate_block_time = Time.zero;
+    }
+  in
+  (match clocking with
+  | Clocked dmt -> Dmt.set_gate dmt (fun () -> gate t)
+  | Immediate -> ());
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Delivery from the proxy (consensus decision order). *)
+
+let deliver t ev =
+  match t.clocking with
+  | Clocked _ -> Paxos_seq.append t.seq ev
+  | Immediate -> (
+    Paxos_seq.append t.seq ev;
+    (* Admit instantly: drain the queue into connection state. *)
+    let rec drain () =
+      match Paxos_seq.head t.seq with
+      | None -> ()
+      | Some (Event.Time_bubble _) ->
+        (* No clocking to grant: bubbles are inert here. *)
+        let rec exhaust () =
+          match Paxos_seq.head t.seq with
+          | Some (Event.Time_bubble _) ->
+            Paxos_seq.decrement_bubble t.seq;
+            exhaust ()
+          | Some _ | None -> ()
+        in
+        exhaust ();
+        drain ()
+      | Some (Event.Connect { conn; port }) ->
+        Paxos_seq.drop_head t.seq;
+        let (_ : vconn) = make_vconn t conn in
+        t.admitted <- t.admitted + 1;
+        (match Hashtbl.find_opt t.listeners port with
+        | Some l ->
+          Queue.add conn l.pending;
+          signal_one t l.lobj
+        | None -> Hashtbl.remove t.conns conn);
+        drain ()
+      | Some (Event.Send { conn; payload }) ->
+        Paxos_seq.drop_head t.seq;
+        (match Hashtbl.find_opt t.conns conn with
+        | Some c when not c.vclosed ->
+          Bytestream.push c.buf payload;
+          t.admitted <- t.admitted + 1;
+          signal_one t c.cobj
+        | Some _ | None -> ());
+        drain ()
+      | Some (Event.Close { conn }) ->
+        Paxos_seq.drop_head t.seq;
+        (match Hashtbl.find_opt t.conns conn with
+        | Some c ->
+          c.veof <- true;
+          signal_one t c.cobj
+        | None -> ());
+        drain ()
+    in
+    drain ())
+
+(* ------------------------------------------------------------------ *)
+(* Socket-call wrappers: clocked mode (Figures 10-11). *)
+
+let dmt_of t =
+  match t.clocking with Clocked d -> d | Immediate -> assert false
+
+let listen t ~port =
+  if Hashtbl.mem t.listeners port then
+    invalid_arg (Printf.sprintf "Vhost.listen: port %d taken" port);
+  let l = { lport = port; lobj = new_signal_obj t; pending = Queue.create () } in
+  Hashtbl.replace t.listeners port l;
+  l
+
+let head_is_connect_for t l =
+  match Paxos_seq.head t.seq with
+  | Some (Event.Connect { port; _ }) -> port = l.lport
+  | Some (Event.Send _ | Event.Close _ | Event.Time_bubble _) | None -> false
+
+let raw_wait t q =
+  Engine.suspend t.eng (fun wake -> Queue.add (fun () -> wake ()) q)
+
+let poll t l =
+  match t.clocking with
+  | Clocked dmt ->
+    Dmt.get_turn dmt;
+    (match l.lobj with
+    | Dobj o -> while not (head_is_connect_for t l) do Dmt.wait dmt ~obj:o done
+    | Raw _ -> assert false);
+    Dmt.put_turn dmt
+  | Immediate -> (
+    match l.lobj with
+    | Raw q -> while Queue.is_empty l.pending do raw_wait t q done
+    | Dobj _ -> assert false)
+
+let accept t l =
+  match t.clocking with
+  | Clocked dmt ->
+    Dmt.get_turn dmt;
+    (match l.lobj with
+    | Dobj o -> while not (head_is_connect_for t l) do Dmt.wait dmt ~obj:o done
+    | Raw _ -> assert false);
+    let c =
+      match Paxos_seq.head t.seq with
+      | Some (Event.Connect { conn; _ }) ->
+        Paxos_seq.drop_head t.seq;
+        t.admitted <- t.admitted + 1;
+        make_vconn t conn
+      | Some _ | None -> assert false
+    in
+    Dmt.put_turn dmt;
+    c
+  | Immediate -> (
+    match l.lobj with
+    | Raw q ->
+      while Queue.is_empty l.pending do
+        raw_wait t q
+      done;
+      let vid = Queue.pop l.pending in
+      Hashtbl.find t.conns vid
+    | Dobj _ -> assert false)
+
+(* Move entries for [c] sitting at the sequence head into its buffer. *)
+let rec consume_admitted t (c : vconn) =
+  match Paxos_seq.head t.seq with
+  | Some (Event.Send { conn; payload }) when conn = c.vid ->
+    Paxos_seq.drop_head t.seq;
+    t.admitted <- t.admitted + 1;
+    Bytestream.push c.buf payload;
+    consume_admitted t c
+  | Some (Event.Close { conn }) when conn = c.vid ->
+    Paxos_seq.drop_head t.seq;
+    c.veof <- true
+  | Some (Event.Connect _ | Event.Send _ | Event.Close _ | Event.Time_bubble _)
+  | None -> ()
+
+let recv t (c : vconn) ~max =
+  (* recv on a connection this server already closed returns EOF
+     immediately: its sequence entries are discarded by the gate, so
+     waiting would never be signalled. *)
+  (match t.clocking with
+  | Clocked dmt ->
+    Dmt.get_turn dmt;
+    consume_admitted t c;
+    (match c.cobj with
+    | Dobj o ->
+      while Bytestream.is_empty c.buf && (not c.veof) && not c.vclosed do
+        Dmt.wait dmt ~obj:o;
+        consume_admitted t c
+      done
+    | Raw _ -> assert false);
+    Dmt.put_turn dmt
+  | Immediate -> (
+    match c.cobj with
+    | Raw q ->
+      while Bytestream.is_empty c.buf && (not c.veof) && not c.vclosed do
+        raw_wait t q
+      done
+    | Dobj _ -> assert false));
+  if c.vclosed then "" else Bytestream.take c.buf ~max
+
+let send t (c : vconn) payload =
+  let deliver () =
+    Output_log.record t.output ~conn:c.vid payload;
+    if not c.vclosed then t.respond ~conn:c.vid payload
+  in
+  match t.clocking with
+  | Clocked dmt ->
+    (* Outgoing calls are scheduled by DMT but need no consensus (§2.1). *)
+    Dmt.get_turn dmt;
+    deliver ();
+    Dmt.put_turn dmt
+  | Immediate -> deliver ()
+
+let close t (c : vconn) =
+  let perform () =
+    if not c.vclosed then begin
+      c.vclosed <- true;
+      t.open_conns <- t.open_conns - 1;
+      t.on_server_close c.vid
+    end
+  in
+  match t.clocking with
+  | Clocked dmt ->
+    Dmt.get_turn dmt;
+    perform ();
+    Dmt.put_turn dmt
+  | Immediate -> perform ()
+
+let conn_id (c : vconn) = c.vid
+
+(* ------------------------------------------------------------------ *)
+
+let stop t = t.stopped <- true
+let output t = t.output
+let seq t = t.seq
+let open_conns t = t.open_conns
+let admitted t = t.admitted
+
+let gate_stats t = (t.bulk_drains, t.delta_drained, t.gate_blocks, t.gate_block_time)
+
+let set_respond t f = t.respond <- f
+let set_on_server_close t f = t.on_server_close <- f
+let set_request_bubble t f = t.request_bubble <- f
+let nclock t = t.cfg.nclock

@@ -1,0 +1,1 @@
+lib/dmt/dmt.ml: Crane_sim Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/dmt/dmt.mli: Crane_sim

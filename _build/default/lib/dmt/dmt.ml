@@ -1,0 +1,401 @@
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+
+type dthread = {
+  dtid : int;
+  dname : string;
+  mutable parked : (unit -> bool) option;
+      (* Waker armed while the thread waits to become the run-queue head. *)
+}
+
+type t = {
+  eng : Engine.t;
+  turn_cost : Time.t;
+  idle_period : Time.t;
+  mutable runq : dthread list; (* head = turn holder *)
+  waitq : (int, dthread Queue.t) Hashtbl.t;
+  threads : (int, dthread) Hashtbl.t; (* engine tid -> dthread *)
+  mutable clock : int;
+  mutable next_obj : int;
+  mutable sigpos : int; (* run-queue insertion point for signalled threads *)
+  mutable gate : (unit -> unit) option;
+  mutable tick_hooks : (int * (unit -> unit)) list;
+  mutable switches : int;
+  mutable stopped : bool;
+}
+
+let engine t = t.eng
+let clock t = t.clock
+let context_switches t = t.switches
+let set_gate t gate = t.gate <- Some gate
+let run_queue_length t = List.length t.runq
+let run_queue_names t = List.map (fun th -> th.dname) t.runq
+let new_obj t =
+  let o = t.next_obj in
+  t.next_obj <- o + 1;
+  o
+
+let me t =
+  match Hashtbl.find_opt t.threads (Engine.self_tid t.eng) with
+  | Some th -> th
+  | None -> failwith "Dmt: calling thread is not registered with this scheduler"
+
+let is_head t th = match t.runq with h :: _ -> h == th | [] -> false
+
+(* Wake the head if it is parked waiting for the turn. *)
+let wake_head t =
+  match t.runq with
+  | [] -> ()
+  | h :: _ -> (
+    match h.parked with
+    | Some wake ->
+      h.parked <- None;
+      ignore (wake ())
+    | None -> ())
+
+let park t th =
+  t.switches <- t.switches + 1;
+  Engine.suspend t.eng (fun wake -> th.parked <- Some wake);
+  assert (is_head t th)
+
+let get_turn t =
+  let th = me t in
+  if not (is_head t th) then park t th
+
+(* Advance the logical clock by one and fire due deterministic timeouts
+   (soft barriers). *)
+let tick t =
+  t.clock <- t.clock + 1;
+  match t.tick_hooks with
+  | [] -> ()
+  | hooks ->
+    let due, later = List.partition (fun (d, _) -> d <= t.clock) hooks in
+    t.tick_hooks <- later;
+    List.iter (fun (_, f) -> f ()) due
+
+let at_tick t deadline f = t.tick_hooks <- t.tick_hooks @ [ (deadline, f) ]
+
+(* Bulk clock advance: used when the idle thread is alone in the run
+   queue and drains a whole time bubble at once — equivalent to that many
+   idle rotations, since no other thread could interleave. *)
+let advance_clock t n =
+  for _ = 1 to n do
+    tick t
+  done
+
+let rotate t =
+  match t.runq with
+  | [] -> ()
+  | h :: rest -> t.runq <- rest @ [ h ]
+
+let put_turn t =
+  let th = me t in
+  assert (is_head t th);
+  if t.turn_cost > 0 then Engine.sleep t.eng t.turn_cost;
+  rotate t;
+  t.sigpos <- 1;
+  tick t;
+  wake_head t
+
+(* Remove the head (the caller) from the run queue and hand the turn over
+   without rotating the caller to the tail. *)
+let leave_runq t th =
+  assert (is_head t th);
+  t.runq <- List.tl t.runq;
+  t.sigpos <- 1;
+  tick t;
+  wake_head t
+
+let waitq_of t obj =
+  match Hashtbl.find_opt t.waitq obj with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add t.waitq obj q;
+    q
+
+let wait t ~obj =
+  let th = me t in
+  Queue.add th (waitq_of t obj);
+  leave_runq t th;
+  park t th
+
+(* Insert a signalled thread just behind the head (and behind previously
+   signalled ones), so it takes the turn right after the signaller. *)
+let insert_at t pos th =
+  let rec go i = function
+    | rest when i = pos -> th :: rest
+    | x :: rest -> x :: go (i + 1) rest
+    | [] -> [ th ]
+  in
+  t.runq <- go 0 t.runq
+
+let signal t ~obj =
+  match Hashtbl.find_opt t.waitq obj with
+  | None -> ()
+  | Some q -> (
+    match Queue.take_opt q with
+    | None -> ()
+    | Some th ->
+      insert_at t t.sigpos th;
+      t.sigpos <- t.sigpos + 1)
+
+let signal_all t ~obj =
+  match Hashtbl.find_opt t.waitq obj with
+  | None -> ()
+  | Some q ->
+    while not (Queue.is_empty q) do
+      signal t ~obj
+    done
+
+let waiters t ~obj =
+  match Hashtbl.find_opt t.waitq obj with
+  | None -> 0
+  | Some q -> Queue.length q
+
+let block_external t f =
+  let th = me t in
+  get_turn t;
+  leave_runq t th;
+  let result = f () in
+  (* Rejoin in completion order: this is where network-arrival
+     nondeterminism re-enters a plain PARROT execution. *)
+  t.runq <- t.runq @ [ th ];
+  if is_head t th then () (* we are running already; just continue *);
+  result
+
+(* Thread creation is itself a synchronization operation: the child's
+   run-queue insertion point must be decided under the turn (when spawning
+   from a DMT thread), or replicas could insert it at divergent positions
+   and their schedules would split.  From outside the scheduler (server
+   bootstrap) insertions follow deterministic program order directly. *)
+let spawn t ~name body =
+  let tid =
+    Engine.spawn_with_tid t.eng ~name (fun () ->
+        let cleanup () =
+          let th = me t in
+          get_turn t;
+          leave_runq t th;
+          Hashtbl.remove t.threads th.dtid
+        in
+        match body () with () -> cleanup () | exception e -> cleanup (); raise e)
+  in
+  let th = { dtid = tid; dname = name; parked = None } in
+  Hashtbl.replace t.threads tid th;
+  if Hashtbl.mem t.threads (Engine.self_tid t.eng) then begin
+    (* Spawned from a registered DMT thread: schedule the insertion. *)
+    get_turn t;
+    t.runq <- t.runq @ [ th ];
+    put_turn t
+  end
+  else t.runq <- t.runq @ [ th ]
+
+let run_gate t = match t.gate with Some g -> g () | None -> ()
+
+(* The idle thread (§3.1): keeps the run queue non-empty and the logical
+   clock ticking when all server threads block, and runs CRANE's gate so
+   admissions progress while the server computes.  Paced so that an idle
+   server does not flood the event queue. *)
+let idle_loop t =
+  let th = me t in
+  let rec loop () =
+    if not t.stopped then begin
+      get_turn t;
+      if t.stopped then leave_runq t th
+      else begin
+        run_gate t;
+        let alone = List.length t.runq = 1 in
+        put_turn t;
+        if alone && t.gate = None then Engine.sleep t.eng t.idle_period;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let stop t = t.stopped <- true
+
+let create ?(turn_cost = Time.ns 150) ?(idle_period = Time.us 10) eng =
+  let t =
+    {
+      eng;
+      turn_cost;
+      idle_period;
+      runq = [];
+      waitq = Hashtbl.create 64;
+      threads = Hashtbl.create 64;
+      clock = 0;
+      next_obj = 1;
+      sigpos = 1;
+      gate = None;
+      tick_hooks = [];
+      switches = 0;
+      stopped = false;
+    }
+  in
+  spawn t ~name:"dmt-idle" (fun () -> idle_loop t);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Pthreads wrappers (paper Figure 9). *)
+
+module Mutex = struct
+  type m = { t : t; mobj : int; mutable locked : bool }
+
+  let create t = { t; mobj = new_obj t; locked = false }
+  let obj m = m.mobj
+
+  let lock m =
+    get_turn m.t;
+    run_gate m.t;
+    while m.locked do
+      wait m.t ~obj:m.mobj
+    done;
+    m.locked <- true;
+    put_turn m.t
+
+  let unlock m =
+    get_turn m.t;
+    if not m.locked then invalid_arg "Dmt.Mutex.unlock: not locked";
+    m.locked <- false;
+    signal m.t ~obj:m.mobj;
+    put_turn m.t
+
+  (* Relock without gate or put_turn: the tail of cond_wait. *)
+  let relock_holding_turn m =
+    while m.locked do
+      wait m.t ~obj:m.mobj
+    done;
+    m.locked <- true
+end
+
+module Cond = struct
+  type c = { t : t; cobj : int }
+
+  let create t = { t; cobj = new_obj t }
+
+  let wait c (mu : Mutex.m) =
+    get_turn c.t;
+    if not mu.Mutex.locked then invalid_arg "Dmt.Cond.wait: mutex not held";
+    mu.Mutex.locked <- false;
+    signal c.t ~obj:(Mutex.obj mu);
+    wait c.t ~obj:c.cobj;
+    Mutex.relock_holding_turn mu;
+    put_turn c.t
+
+  let signal c =
+    get_turn c.t;
+    signal c.t ~obj:c.cobj;
+    put_turn c.t
+
+  let broadcast c =
+    get_turn c.t;
+    signal_all c.t ~obj:c.cobj;
+    put_turn c.t
+end
+
+module Rwlock = struct
+  type rw = { t : t; robj : int; mutable readers : int; mutable writer : bool }
+
+  let create t = { t; robj = new_obj t; readers = 0; writer = false }
+
+  let rdlock l =
+    get_turn l.t;
+    run_gate l.t;
+    while l.writer do
+      wait l.t ~obj:l.robj
+    done;
+    l.readers <- l.readers + 1;
+    put_turn l.t
+
+  let wrlock l =
+    get_turn l.t;
+    run_gate l.t;
+    while l.writer || l.readers > 0 do
+      wait l.t ~obj:l.robj
+    done;
+    l.writer <- true;
+    put_turn l.t
+
+  let unlock l =
+    get_turn l.t;
+    if l.writer then l.writer <- false
+    else if l.readers > 0 then l.readers <- l.readers - 1
+    else invalid_arg "Dmt.Rwlock.unlock: not held";
+    signal_all l.t ~obj:l.robj;
+    put_turn l.t
+end
+
+module Sem = struct
+  type s = { t : t; sobj : int; mutable count : int }
+
+  let create t count = { t; sobj = new_obj t; count }
+
+  let post s =
+    get_turn s.t;
+    s.count <- s.count + 1;
+    signal s.t ~obj:s.sobj;
+    put_turn s.t
+
+  let wait s =
+    get_turn s.t;
+    run_gate s.t;
+    while s.count = 0 do
+      wait s.t ~obj:s.sobj
+    done;
+    s.count <- s.count - 1;
+    put_turn s.t
+end
+
+(* ------------------------------------------------------------------ *)
+(* Soft barriers (performance hints, §7.4). *)
+
+module Soft_barrier = struct
+  type sb = {
+    t : t;
+    n : int;
+    timeout_ticks : int;
+    mutable gathering : dthread list;
+    mutable armed : bool;
+  }
+
+  let create t ~n ~timeout_ticks = { t; n; timeout_ticks; gathering = []; armed = false }
+
+  let release sb =
+    (match sb.gathering with
+    | [] -> ()
+    | batch ->
+      sb.gathering <- [];
+      sb.t.runq <- sb.t.runq @ batch;
+      wake_head sb.t);
+    sb.armed <- false
+
+  let wait sb =
+    let t = sb.t in
+    let th = me t in
+    get_turn t;
+    sb.gathering <- sb.gathering @ [ th ];
+    (if List.length sb.gathering >= sb.n then begin
+       (* Full house: put everybody (including us) back at the tail. *)
+       let batch = sb.gathering in
+       sb.gathering <- [];
+       sb.armed <- false;
+       leave_runq t th;
+       t.runq <- t.runq @ batch;
+       wake_head t;
+       park t th
+     end
+     else begin
+       if not sb.armed then begin
+         sb.armed <- true;
+         at_tick t (t.clock + sb.timeout_ticks) (fun () -> release sb)
+       end;
+       leave_runq t th;
+       park t th
+     end);
+    (* Hand the turn over immediately, like every synchronization wrapper:
+       otherwise the first released thread starts computing with the turn
+       in hand and staggers the whole lined-up batch behind its first
+       segment. *)
+    put_turn t
+end

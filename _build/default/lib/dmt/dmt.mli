@@ -1,0 +1,145 @@
+(** PARROT: the deterministic multithreading scheduler (paper §3.1).
+
+    One scheduler instance per server process.  Registered threads pass a
+    global turn around in round-robin order: only the thread at the head
+    of the run queue may perform a synchronization operation and mutate
+    the queues.  Each turn handoff ticks the {e logical clock}; given the
+    same inputs admitted at the same logical clocks, the entire
+    multithreaded execution is deterministic.
+
+    The four primitives of the paper's Figure 8 — {!get_turn},
+    {!put_turn}, {!wait}, {!signal} — are exposed so CRANE's socket-call
+    wrappers (paper Figures 10–11) can be built on top, as are the
+    Pthreads wrappers of Figure 9 ({!Mutex}, {!Cond}, ...).
+
+    Two escape hatches reproduce PARROT behaviours the evaluation depends
+    on:
+    - {!block_external} is PARROT's nondeterministic blocking-socket-call
+      path (§3.1): the thread leaves the run queue around an engine-level
+      blocking action and rejoins in completion order, preserving network
+      timing nondeterminism when CRANE is {e not} layered on top;
+    - {!Soft_barrier} is the soft-barrier performance hint (§7.4): it
+      lines up compute phases by parking arrivals off the run queue until
+      [n] threads gather or a deterministic logical-clock timeout expires. *)
+
+type t
+
+val create :
+  ?turn_cost:Crane_sim.Time.t -> ?idle_period:Crane_sim.Time.t ->
+  Crane_sim.Engine.t -> t
+(** [turn_cost] is virtual time charged per turn handoff (default 150 ns:
+    PARROT's optimized spin-then-block handoff); [idle_period] paces the
+    internal idle thread when the run queue is otherwise empty (default
+    10 us, the paper's usleep in Figure 10). *)
+
+val engine : t -> Crane_sim.Engine.t
+
+val spawn : t -> name:string -> (unit -> unit) -> unit
+(** Register and start a thread under this scheduler.  The thread enters
+    the run queue immediately and leaves it when its body returns. *)
+
+val clock : t -> int
+(** Current logical clock (total turn handoffs so far). *)
+
+val context_switches : t -> int
+(** Times a thread parked waiting for its turn (the PARROT-side number in
+    the MediaTomb context-switch comparison of §7.3). *)
+
+val set_gate : t -> (unit -> unit) -> unit
+(** Install CRANE's [check_add_timebubble] hook (Figure 10).  It runs
+    with the turn held: in every {!Mutex.lock} and on every idle-thread
+    cycle.  It may block (virtual time passes, the logical clock does
+    not), which is how "tick only when the PAXOS sequence is non-empty"
+    is enforced. *)
+
+val stop : t -> unit
+(** Shut the idle thread down (end of an experiment). *)
+
+(** {1 Scheduler primitives (paper Figure 8)} *)
+
+val get_turn : t -> unit
+(** Block until the calling thread is the head of the run queue. *)
+
+val put_turn : t -> unit
+(** Rotate to the tail, tick the logical clock, wake the next head. *)
+
+val advance_clock : t -> int -> unit
+(** Bulk-tick the logical clock (deterministic timeouts included).  Only
+    sound while the caller is the sole runnable thread — PARROT's
+    rapid-exhaustion mechanism for time bubbles (§3.1, §4). *)
+
+val new_obj : t -> int
+(** Allocate a wait-queue object (mutex, condvar, socket descriptor...). *)
+
+val wait : t -> obj:int -> unit
+(** Move the calling thread (which must hold the turn) to the wait queue
+    of [obj]; returns holding the turn once signalled and at the head. *)
+
+val signal : t -> obj:int -> unit
+(** Move one waiter of [obj] just behind the current head, so it becomes
+    the head after the signaller's {!put_turn}.  No-op without waiters.
+    Requires the turn. *)
+
+val signal_all : t -> obj:int -> unit
+
+val waiters : t -> obj:int -> int
+
+val block_external : t -> (unit -> 'a) -> 'a
+(** PARROT's nondeterministic blocking call path: leave the run queue,
+    run [f] (which may block on the engine), rejoin at the tail in
+    completion order. *)
+
+val run_queue_length : t -> int
+
+val run_queue_names : t -> string list
+(** Names of run-queue members, head first (debugging and tests). *)
+
+(** {1 Pthreads wrappers (paper Figure 9)} *)
+
+module Mutex : sig
+  type m
+
+  val create : t -> m
+  val lock : m -> unit
+  val unlock : m -> unit
+  val obj : m -> int
+end
+
+module Cond : sig
+  type c
+
+  val create : t -> c
+  val wait : c -> Mutex.m -> unit
+  val signal : c -> unit
+  val broadcast : c -> unit
+end
+
+module Rwlock : sig
+  type rw
+
+  val create : t -> rw
+  val rdlock : rw -> unit
+  val wrlock : rw -> unit
+  val unlock : rw -> unit
+end
+
+module Sem : sig
+  type s
+
+  val create : t -> int -> s
+  val post : s -> unit
+  val wait : s -> unit
+end
+
+(** {1 Soft-barrier performance hints (paper §7.4)} *)
+
+module Soft_barrier : sig
+  type sb
+
+  val create : t -> n:int -> timeout_ticks:int -> sb
+  (** Line up [n] computations; release early after [timeout_ticks]
+      logical clocks so the hint "times out deterministically and
+      tolerates different numbers of concurrent requests". *)
+
+  val wait : sb -> unit
+end

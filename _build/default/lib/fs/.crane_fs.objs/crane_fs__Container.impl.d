@@ -1,0 +1,1 @@
+lib/fs/container.ml: Crane_sim Memfs

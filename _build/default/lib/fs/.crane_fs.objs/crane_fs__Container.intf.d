@@ -1,0 +1,1 @@
+lib/fs/container.mli: Crane_sim Memfs

@@ -1,0 +1,1 @@
+lib/fs/fsdiff.ml: Array List Memfs String

@@ -1,0 +1,48 @@
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+
+exception Confined
+
+type t = {
+  eng : Engine.t;
+  cname : string;
+  cfs : Memfs.t;
+  base : Memfs.snapshot;
+  uncnf : bool;
+  stop_cost : Time.t;
+  start_cost : Time.t;
+  mutable up : bool;
+}
+
+let create eng ~name ?(unconfined = true) ?(stop_cost = Time.ms 1200)
+    ?(start_cost = Time.ms 2200) fs =
+  {
+    eng;
+    cname = name;
+    cfs = fs;
+    base = Memfs.snapshot fs;
+    uncnf = unconfined;
+    stop_cost;
+    start_cost;
+    up = true;
+  }
+
+let name t = t.cname
+let fs t = t.cfs
+let base_snapshot t = t.base
+let unconfined t = t.uncnf
+let running t = t.up
+
+let start t =
+  if not t.up then begin
+    Engine.sleep t.eng t.start_cost;
+    t.up <- true
+  end
+
+let stop t =
+  if t.up then begin
+    Engine.sleep t.eng t.stop_cost;
+    t.up <- false
+  end
+
+let require_unconfined t = if not t.uncnf then raise Confined

@@ -1,0 +1,39 @@
+(** LXC-like container (paper §5.2).
+
+    Wraps a server's filesystem in an isolated namespace with a base
+    snapshot taken "before any server starts", against which incremental
+    checkpoints are diffed.  Stop/start charge the paper's observed 2-5 s
+    of daemon bootstrap.  "Unconfined mode" must be enabled for CRIU to
+    touch system files (ns_last_pid) — modelled as a flag the checkpointer
+    checks. *)
+
+type t
+
+val create :
+  Crane_sim.Engine.t ->
+  name:string ->
+  ?unconfined:bool ->
+  ?stop_cost:Crane_sim.Time.t ->
+  ?start_cost:Crane_sim.Time.t ->
+  Memfs.t ->
+  t
+(** Takes the base snapshot at creation.  Default stop cost 1.2 s, start
+    cost 2.2 s (a common stop+restart lands in the paper's 2-5 s). *)
+
+val name : t -> string
+val fs : t -> Memfs.t
+val base_snapshot : t -> Memfs.snapshot
+val unconfined : t -> bool
+val running : t -> bool
+
+val start : t -> unit
+(** Blocking (call from a simulated thread).  Idempotent. *)
+
+val stop : t -> unit
+(** Blocking.  Idempotent. *)
+
+exception Confined
+(** Raised by CRIU-style operations when the container is not in
+    unconfined mode. *)
+
+val require_unconfined : t -> unit

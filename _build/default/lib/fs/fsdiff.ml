@@ -1,0 +1,73 @@
+type hunk =
+  | Add_file of string
+  | Delete_file
+  | Edit of { keep_prefix : int; keep_suffix : int; replacement : string list }
+      (* Line-wise: keep the first [keep_prefix] and last [keep_suffix]
+         lines of the base file, splice [replacement] in between. *)
+
+type patch = (string * hunk) list (* path -> hunk, sorted by path *)
+
+let split_lines s = String.split_on_char '\n' s
+let join_lines l = String.concat "\n" l
+
+let edit_of_strings old_c new_c =
+  let old_l = Array.of_list (split_lines old_c) in
+  let new_l = Array.of_list (split_lines new_c) in
+  let n_old = Array.length old_l and n_new = Array.length new_l in
+  let max_prefix = min n_old n_new in
+  let rec prefix i = if i < max_prefix && old_l.(i) = new_l.(i) then prefix (i + 1) else i in
+  let p = prefix 0 in
+  let max_suffix = min n_old n_new - p in
+  let rec suffix i =
+    if i < max_suffix && old_l.(n_old - 1 - i) = new_l.(n_new - 1 - i) then suffix (i + 1)
+    else i
+  in
+  let s = suffix 0 in
+  let replacement = Array.to_list (Array.sub new_l p (n_new - p - s)) in
+  Edit { keep_prefix = p; keep_suffix = s; replacement }
+
+let diff ~base ~target =
+  let acc = ref [] in
+  Memfs.iter_snapshot target (fun path new_c ->
+      match
+        let b = Memfs.of_snapshot base in
+        Memfs.read b ~path
+      with
+      | None -> acc := (path, Add_file new_c) :: !acc
+      | Some old_c -> if old_c <> new_c then acc := (path, edit_of_strings old_c new_c) :: !acc);
+  let tgt = Memfs.of_snapshot target in
+  Memfs.iter_snapshot base (fun path _ ->
+      if not (Memfs.exists tgt ~path) then acc := (path, Delete_file) :: !acc);
+  List.sort (fun (a, _) (b, _) -> compare a b) !acc
+
+let apply ~base patch =
+  let fs = Memfs.of_snapshot base in
+  List.iter
+    (fun (path, hunk) ->
+      match hunk with
+      | Add_file c -> Memfs.write fs ~path c
+      | Delete_file -> Memfs.delete fs ~path
+      | Edit { keep_prefix; keep_suffix; replacement } ->
+        let old_l = split_lines (Memfs.read_exn fs ~path) in
+        let n = List.length old_l in
+        let pre = List.filteri (fun i _ -> i < keep_prefix) old_l in
+        let post = List.filteri (fun i _ -> i >= n - keep_suffix) old_l in
+        Memfs.write fs ~path (join_lines (pre @ replacement @ post)))
+    patch;
+  Memfs.snapshot fs
+
+let is_empty p = p = []
+
+let hunk_bytes = function
+  | Add_file c -> String.length c + 16
+  | Delete_file -> 16
+  | Edit { replacement; _ } ->
+    List.fold_left (fun acc l -> acc + String.length l + 1) 24 replacement
+
+let patch_bytes p =
+  List.fold_left (fun acc (path, h) -> acc + String.length path + hunk_bytes h) 0 p
+
+let files_touched p = List.length p
+
+let scanned_bytes ~base ~target =
+  Memfs.snapshot_bytes base + Memfs.snapshot_bytes target

@@ -1,0 +1,25 @@
+(** Textual diff/patch between filesystem snapshots.
+
+    Models the paper's incremental filesystem checkpoint: "uses
+    [diff --text] to generate a patch of the current working directory and
+    the server's installation directory against an LXC snapshot prepared
+    before any server starts".  Changed files are diffed line-wise
+    (common prefix/suffix elision), so a small append to a big log file
+    yields a small patch — the property that makes Table 2's incremental
+    checkpoints cheap. *)
+
+type patch
+
+val diff : base:Memfs.snapshot -> target:Memfs.snapshot -> patch
+val apply : base:Memfs.snapshot -> patch -> Memfs.snapshot
+(** [apply ~base (diff ~base ~target) = target]. *)
+
+val is_empty : patch -> bool
+
+val patch_bytes : patch -> int
+(** Serialized size of the patch: drives the checkpoint cost model. *)
+
+val files_touched : patch -> int
+
+val scanned_bytes : base:Memfs.snapshot -> target:Memfs.snapshot -> int
+(** Bytes diff had to read to produce the patch (both trees). *)

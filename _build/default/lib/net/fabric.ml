@@ -1,0 +1,99 @@
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Rng = Crane_sim.Rng
+
+type node = string
+type endpoint = { node : node; port : int }
+
+let endpoint_pp fmt e = Format.fprintf fmt "%s:%d" e.node e.port
+
+type message = ..
+
+type t = {
+  eng : Engine.t;
+  rng : Rng.t;
+  mutable base : Time.t;
+  mutable jitter : Time.t;
+  mutable loss : float;
+  up : (node, bool) Hashtbl.t;
+  handlers : (node * int, src:endpoint -> message -> unit) Hashtbl.t;
+  (* FIFO guarantee: never schedule a delivery on a link earlier than the
+     previous one. *)
+  last_delivery : (node * node, Time.t) Hashtbl.t;
+  mutable partitions : (node list * node list) list;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create eng rng =
+  {
+    eng;
+    rng;
+    base = Time.us 40;
+    jitter = Time.us 20;
+    loss = 0.0;
+    up = Hashtbl.create 16;
+    handlers = Hashtbl.create 64;
+    last_delivery = Hashtbl.create 64;
+    partitions = [];
+    delivered = 0;
+    dropped = 0;
+  }
+
+let engine t = t.eng
+
+let set_latency t ~base ~jitter =
+  t.base <- base;
+  t.jitter <- jitter
+
+let set_loss t loss = t.loss <- loss
+let node_up t n = Hashtbl.replace t.up n true
+let node_down t n = Hashtbl.replace t.up n false
+let is_up t n = match Hashtbl.find_opt t.up n with Some b -> b | None -> false
+
+let partition t a b = t.partitions <- (a, b) :: t.partitions
+let heal t = t.partitions <- []
+
+let partitioned t a b =
+  let blocks (l, r) =
+    (List.mem a l && List.mem b r) || (List.mem a r && List.mem b l)
+  in
+  List.exists blocks t.partitions
+
+let bind t ep handler =
+  node_up t ep.node;
+  Hashtbl.replace t.handlers (ep.node, ep.port) handler
+
+let unbind t ep = Hashtbl.remove t.handlers (ep.node, ep.port)
+
+let sample_delay t =
+  let j = if t.jitter > 0 then Rng.int t.rng t.jitter else 0 in
+  t.base + j
+
+let send t ~src ~dst msg =
+  if not (Hashtbl.mem t.up src.node) then node_up t src.node;
+  if not (is_up t src.node) || Rng.chance t.rng t.loss then
+    t.dropped <- t.dropped + 1
+  else begin
+    let link = (src.node, dst.node) in
+    let arrival =
+      let earliest = Engine.now t.eng + sample_delay t in
+      match Hashtbl.find_opt t.last_delivery link with
+      | Some prev when prev > earliest -> prev
+      | _ -> earliest
+    in
+    Hashtbl.replace t.last_delivery link arrival;
+    Engine.at t.eng arrival (fun () ->
+        if is_up t src.node && is_up t dst.node
+           && not (partitioned t src.node dst.node)
+        then
+          match Hashtbl.find_opt t.handlers (dst.node, dst.port) with
+          | Some handler ->
+            t.delivered <- t.delivered + 1;
+            handler ~src msg
+          | None -> t.dropped <- t.dropped + 1
+        else t.dropped <- t.dropped + 1)
+  end
+
+let delivered t = t.delivered
+let dropped t = t.dropped

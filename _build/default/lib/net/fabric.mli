@@ -1,0 +1,62 @@
+(** Simulated LAN fabric.
+
+    A datagram layer between named nodes: per-link latency with seeded
+    jitter, optional loss, partitions, and node up/down — the substrate for
+    both the PAXOS protocol traffic and the TCP-like socket layer.
+
+    Delivery per (src, dst) pair is FIFO (later sends never overtake
+    earlier ones on the same link, as on a TCP-backed LAN), while jitter
+    still makes {e cross-link} arrival order nondeterministic — the paper's
+    source S1/S3 of replica divergence. *)
+
+type node = string
+
+type endpoint = { node : node; port : int }
+
+val endpoint_pp : Format.formatter -> endpoint -> unit
+
+type message = ..
+(** Extensible payload type: each protocol layer adds its constructors. *)
+
+type t
+
+val create : Crane_sim.Engine.t -> Crane_sim.Rng.t -> t
+(** Default link model: 40 us base latency, 20 us jitter, no loss —
+    a 1 Gbps LAN as in the paper's testbed. *)
+
+val engine : t -> Crane_sim.Engine.t
+
+val set_latency : t -> base:Crane_sim.Time.t -> jitter:Crane_sim.Time.t -> unit
+val set_loss : t -> float -> unit
+
+val node_up : t -> node -> unit
+(** Bring a node (back) online.  Nodes referenced by {!bind} or {!send}
+    are brought up implicitly. *)
+
+val node_down : t -> node -> unit
+(** Take a node offline: its in-flight and future messages are dropped,
+    in both directions. *)
+
+val is_up : t -> node -> bool
+
+val partition : t -> node list -> node list -> unit
+(** Block traffic between the two sides (both directions).  Cumulative
+    with previous partitions. *)
+
+val heal : t -> unit
+(** Remove all partitions. *)
+
+val bind : t -> endpoint -> (src:endpoint -> message -> unit) -> unit
+(** Install the handler for a (node, port).  Replaces any previous one. *)
+
+val unbind : t -> endpoint -> unit
+
+val send : t -> src:endpoint -> dst:endpoint -> message -> unit
+(** Fire-and-forget datagram.  Silently dropped if either node is down at
+    delivery time, the pair is partitioned, the loss model fires, or no
+    handler is bound. *)
+
+val delivered : t -> int
+(** Total messages delivered so far (for tests and consensus-cost stats). *)
+
+val dropped : t -> int

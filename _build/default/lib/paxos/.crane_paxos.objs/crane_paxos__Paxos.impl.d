@@ -1,0 +1,1 @@
+lib/paxos/paxos.ml: Crane_net Crane_sim Crane_storage Hashtbl List Marshal Option

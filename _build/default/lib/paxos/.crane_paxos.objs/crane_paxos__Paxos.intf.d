@@ -1,0 +1,1 @@
+lib/paxos/paxos.mli: Crane_net Crane_sim Crane_storage

@@ -1,0 +1,478 @@
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Rng = Crane_sim.Rng
+module Fabric = Crane_net.Fabric
+module Wal = Crane_storage.Wal
+
+type config = {
+  heartbeat_period : Time.t;
+  election_timeout : Time.t;
+  election_jitter : Time.t;
+  round_retry : Time.t;
+}
+
+let default_config =
+  {
+    heartbeat_period = Time.sec 1;
+    election_timeout = Time.sec 3;
+    election_jitter = Time.ms 300;
+    round_retry = Time.ms 500;
+  }
+
+let paxos_port = 1
+
+(* Log entries carried by view-change traffic: (index, view, value). *)
+type wire_entry = int * int * string
+
+type Fabric.message +=
+  | Accept of { aview : int; index : int; value : string; committed : int }
+  | Accept_ok of { aview : int; index : int }
+  | Commit of { cview : int; committed : int }
+  | Heartbeat of { hview : int; committed : int }
+  | View_change of { nview : int; cand_committed : int }
+  | View_change_ok of { nview : int; tail : wire_entry list; committed : int }
+  | Candidate of { nview : int }
+  | Candidate_ok of { nview : int }
+  | New_view of { nview : int; entries : wire_entry list; committed : int }
+  | Catchup_req of { from_index : int }
+  | Catchup_resp of { rview : int; primary : Fabric.node; entries : (int * string) list; committed : int }
+
+type wal_record = Wal_accept of int * int * string | Wal_commit of int
+
+type election = {
+  eview : int;
+  mutable oks : Fabric.node list; (* view-change responders, self included *)
+  mutable tails : (Fabric.node * wire_entry list * int) list;
+  mutable cand_oks : Fabric.node list;
+  mutable phase : [ `Collect | `Candidate ];
+  started_at : Time.t;
+}
+
+type t = {
+  cfg : config;
+  fabric : Fabric.t;
+  eng : Engine.t;
+  rng : Rng.t;
+  wal : Wal.t;
+  members : Fabric.node list;
+  self : Fabric.node;
+  group : Engine.group;
+  mutable view : int;
+  mutable primary : Fabric.node option;
+  mutable max_view_seen : int;
+  (* Replicated log. *)
+  log : (int, int * string) Hashtbl.t; (* index -> (view, value) *)
+  mutable last_index : int;
+  mutable committed : int;
+  mutable applied : int;
+  acks : (int, Fabric.node list) Hashtbl.t;
+  mutable apply_cb : (index:int -> string -> unit) option;
+  (* Failure detection / election. *)
+  mutable last_heartbeat : Time.t;
+  mutable election : election option;
+  mutable started : bool;
+  (* Stats. *)
+  mutable decisions : int;
+  mutable view_changes : int;
+  mutable last_election_duration : Time.t option;
+}
+
+let node t = t.self
+let view t = t.view
+let primary t = t.primary
+let is_primary t = t.primary = Some t.self
+let committed t = t.committed
+let applied t = t.applied
+let decisions t = t.decisions
+let view_changes t = t.view_changes
+let last_election_duration t = t.last_election_duration
+let on_commit t cb = t.apply_cb <- Some cb
+
+let majority t = (List.length t.members / 2) + 1
+let others t = List.filter (fun n -> n <> t.self) t.members
+
+let ep node = { Fabric.node; port = paxos_port }
+
+let cast t msg = List.iter (fun n -> Fabric.send t.fabric ~src:(ep t.self) ~dst:(ep n) msg) (others t)
+let tell t n msg = Fabric.send t.fabric ~src:(ep t.self) ~dst:(ep n) msg
+
+let persist t record k = Wal.append_async t.wal (Marshal.to_string (record : wal_record) []) k
+
+(* Deliver committed values to the application, in order. *)
+let rec apply t =
+  if t.applied < t.committed then begin
+    match Hashtbl.find_opt t.log (t.applied + 1) with
+    | None -> () (* gap: wait for catch-up *)
+    | Some (_, value) ->
+      t.applied <- t.applied + 1;
+      t.decisions <- t.decisions + 1;
+      (match t.apply_cb with
+      | Some cb -> cb ~index:t.applied value
+      | None -> ());
+      apply t
+  end
+
+let set_committed t idx =
+  if idx > t.committed then begin
+    t.committed <- idx;
+    persist t (Wal_commit idx) (fun () -> ());
+    apply t
+  end
+
+let store_entry t ~index ~eview ~value =
+  (match Hashtbl.find_opt t.log index with
+  | Some (v, _) when v > eview -> ()
+  | Some _ | None -> Hashtbl.replace t.log index (eview, value));
+  if index > t.last_index then t.last_index <- index
+
+(* ------------------------------------------------------------------ *)
+(* Normal case: primary order (one round trip + durable write). *)
+
+let record_ack t ~index ~from =
+  let cur = match Hashtbl.find_opt t.acks index with Some l -> l | None -> [] in
+  if not (List.mem from cur) then Hashtbl.replace t.acks index (from :: cur)
+
+let advance_commits t =
+  let progressed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let next = t.committed + 1 in
+    match Hashtbl.find_opt t.acks next with
+    | Some l when List.length l >= majority t ->
+      set_committed t next;
+      progressed := true
+    | Some _ | None -> continue_ := false
+  done;
+  if !progressed then cast t (Commit { cview = t.view; committed = t.committed })
+
+let submit t value =
+  if not (is_primary t) then false
+  else begin
+    let index = t.last_index + 1 in
+    store_entry t ~index ~eview:t.view ~value;
+    let aview = t.view in
+    cast t (Accept { aview; index; value; committed = t.committed });
+    persist t (Wal_accept (aview, index, value)) (fun () ->
+        if t.view = aview && is_primary t then begin
+          record_ack t ~index ~from:t.self;
+          advance_commits t
+        end);
+    true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Leader election: the three steps of §5.1. *)
+
+let log_tail t ~from_index =
+  let rec collect idx acc =
+    if idx > t.last_index then List.rev acc
+    else
+      match Hashtbl.find_opt t.log idx with
+      | Some (v, value) -> collect (idx + 1) ((idx, v, value) :: acc)
+      | None -> collect (idx + 1) acc
+  in
+  collect (max 1 from_index) []
+
+let merge_tails t tails =
+  (* Highest-view entry wins per index; highest committed wins overall. *)
+  let best : (int, int * string) Hashtbl.t = Hashtbl.create 64 in
+  let committed = ref t.committed in
+  let absorb (tail, c) =
+    if c > !committed then committed := c;
+    List.iter
+      (fun (idx, v, value) ->
+        match Hashtbl.find_opt best idx with
+        | Some (v', _) when v' >= v -> ()
+        | Some _ | None -> Hashtbl.replace best idx (v, value))
+      tail
+  in
+  absorb (log_tail t ~from_index:(t.committed + 1), t.committed);
+  List.iter (fun (_, tail, c) -> absorb (tail, c)) tails;
+  let entries =
+    Hashtbl.fold (fun idx (v, value) acc -> (idx, v, value) :: acc) best []
+  in
+  (List.sort (fun (a, _, _) (b, _, _) -> compare a b) entries, !committed)
+
+let install_entries t entries =
+  List.iter (fun (idx, v, value) -> store_entry t ~index:idx ~eview:v ~value) entries
+
+let become_backup t ~nview ~primary =
+  t.view <- nview;
+  if nview > t.max_view_seen then t.max_view_seen <- nview;
+  t.primary <- primary;
+  t.election <- None;
+  t.last_heartbeat <- Engine.now t.eng
+
+let rec heartbeat_loop t =
+  Engine.after t.eng ~group:t.group t.cfg.heartbeat_period (fun () ->
+      if is_primary t then begin
+        cast t (Heartbeat { hview = t.view; committed = t.committed });
+        heartbeat_loop t
+      end)
+
+let become_primary t election =
+  let entries, committed = merge_tails t election.tails in
+  install_entries t entries;
+  t.view <- election.eview;
+  t.primary <- Some t.self;
+  t.election <- None;
+  t.view_changes <- t.view_changes + 1;
+  t.last_election_duration <- Some (Engine.now t.eng - election.started_at);
+  (* Step 3: announce. *)
+  cast t (New_view { nview = t.view; entries; committed });
+  if committed > t.committed then begin
+    t.committed <- committed;
+    apply t
+  end;
+  (* Re-propose the uncommitted suffix under the new view. *)
+  let rec repropose idx =
+    if idx <= t.last_index then begin
+      (match Hashtbl.find_opt t.log idx with
+      | Some (_, value) ->
+        Hashtbl.replace t.log idx (t.view, value);
+        Hashtbl.replace t.acks idx [ t.self ];
+        cast t (Accept { aview = t.view; index = idx; value; committed = t.committed })
+      | None -> ());
+      repropose (idx + 1)
+    end
+  in
+  repropose (t.committed + 1);
+  heartbeat_loop t
+
+let rec start_election t =
+  if not (is_primary t) then begin
+    let nview = t.max_view_seen + 1 in
+    t.max_view_seen <- nview;
+    let election =
+      {
+        eview = nview;
+        oks = [ t.self ];
+        tails = [];
+        cand_oks = [ t.self ];
+        phase = `Collect;
+        started_at = Engine.now t.eng;
+      }
+    in
+    t.election <- Some election;
+    cast t (View_change { nview; cand_committed = t.committed });
+    (* Single-node "cluster": immediately win. *)
+    check_election_progress t election;
+    (* Stalled round: retry with a higher view. *)
+    Engine.after t.eng ~group:t.group t.cfg.round_retry (fun () ->
+        match t.election with
+        | Some e when e.eview = nview -> start_election t
+        | Some _ | None -> ())
+  end
+
+and check_election_progress t e =
+  if e.phase = `Collect && List.length e.oks >= majority t then begin
+    e.phase <- `Candidate;
+    (* Step 2: propose ourselves as primary candidate. *)
+    cast t (Candidate { nview = e.eview });
+    check_election_progress t e
+  end
+  else if e.phase = `Candidate && List.length e.cand_oks >= majority t then
+    become_primary t e
+
+(* Election timer: backups that miss heartbeats for election_timeout
+   (paper: 3 s) start an election, with per-node jitter to avoid duels. *)
+let rec election_monitor t =
+  let jitter = Rng.int t.rng (max 1 t.cfg.election_jitter) in
+  let period = Time.ms 200 + jitter in
+  Engine.after t.eng ~group:t.group period (fun () ->
+      (if (not (is_primary t)) && t.election = None then
+         let silence = Engine.now t.eng - t.last_heartbeat in
+         if silence >= t.cfg.election_timeout then start_election t);
+      election_monitor t)
+
+(* ------------------------------------------------------------------ *)
+(* Message handling. *)
+
+let send_catchup t ~dst ~from_index =
+  let entries =
+    List.filter_map
+      (fun (idx, _, value) -> if idx <= t.committed then Some (idx, value) else None)
+      (log_tail t ~from_index)
+  in
+  tell t dst
+    (Catchup_resp { rview = t.view; primary = Option.value t.primary ~default:t.self; entries; committed = t.committed })
+
+let handle t ~src msg =
+  let from = src.Fabric.node in
+  match msg with
+  | Accept { aview; index; value; committed } ->
+    if aview = t.view && Some from = t.primary then begin
+      store_entry t ~index ~eview:aview ~value;
+      t.last_heartbeat <- Engine.now t.eng;
+      persist t (Wal_accept (aview, index, value)) (fun () ->
+          if t.view = aview then tell t from (Accept_ok { aview; index }));
+      set_committed t (min committed index)
+    end
+    else if aview > t.view then
+      (* Missed a view change: learn the new configuration. *)
+      tell t from (Catchup_req { from_index = t.committed + 1 })
+  | Accept_ok { aview; index } ->
+    if aview = t.view && is_primary t then begin
+      record_ack t ~index ~from;
+      advance_commits t
+    end
+  | Commit { cview; committed } ->
+    if cview = t.view then begin
+      t.last_heartbeat <- Engine.now t.eng;
+      if committed > t.last_index then
+        tell t from (Catchup_req { from_index = t.applied + 1 })
+      else set_committed t committed
+    end
+  | Heartbeat { hview; committed } ->
+    if hview > t.view then begin
+      become_backup t ~nview:hview ~primary:(Some from);
+      tell t from (Catchup_req { from_index = t.applied + 1 })
+    end
+    else if hview = t.view then begin
+      t.last_heartbeat <- Engine.now t.eng;
+      if Some from <> t.primary then t.primary <- Some from;
+      (if committed > t.committed then
+         if committed > t.last_index then
+           tell t from (Catchup_req { from_index = t.applied + 1 })
+         else set_committed t committed);
+      (* Heal application gaps: committed can overtake a hole (e.g. a
+         rejoined replica that missed a range while current Accepts keep
+         raising its last_index).  Heartbeats re-request the missing
+         range until the log is contiguous again. *)
+      if t.applied < t.committed && not (Hashtbl.mem t.log (t.applied + 1)) then
+        tell t from (Catchup_req { from_index = t.applied + 1 })
+    end
+  | View_change { nview; cand_committed } ->
+    if nview > t.max_view_seen then begin
+      t.max_view_seen <- nview;
+      (* Back off our own competing election, defer to the caller. *)
+      (match t.election with
+      | Some e when e.eview < nview -> t.election <- None
+      | Some _ | None -> ());
+      t.last_heartbeat <- Engine.now t.eng;
+      tell t from
+        (View_change_ok
+           { nview; tail = log_tail t ~from_index:(cand_committed + 1); committed = t.committed })
+    end
+  | View_change_ok { nview; tail; committed } -> (
+    match t.election with
+    | Some e when e.eview = nview && e.phase = `Collect ->
+      if not (List.mem from e.oks) then begin
+        e.oks <- from :: e.oks;
+        e.tails <- (from, tail, committed) :: e.tails;
+        check_election_progress t e
+      end
+    | Some _ | None -> ())
+  | Candidate { nview } ->
+    if nview >= t.max_view_seen then begin
+      t.max_view_seen <- nview;
+      t.last_heartbeat <- Engine.now t.eng;
+      tell t from (Candidate_ok { nview })
+    end
+  | Candidate_ok { nview } -> (
+    match t.election with
+    | Some e when e.eview = nview && e.phase = `Candidate ->
+      if not (List.mem from e.cand_oks) then begin
+        e.cand_oks <- from :: e.cand_oks;
+        check_election_progress t e
+      end
+    | Some _ | None -> ())
+  | New_view { nview; entries; committed } ->
+    if nview >= t.view then begin
+      install_entries t entries;
+      become_backup t ~nview ~primary:(Some from);
+      set_committed t committed
+    end
+  | Catchup_req { from_index } -> send_catchup t ~dst:from ~from_index
+  | Catchup_resp { rview; primary; entries; committed } ->
+    if rview >= t.view then begin
+      if rview > t.view then become_backup t ~nview:rview ~primary:(Some primary);
+      List.iter (fun (idx, value) -> store_entry t ~index:idx ~eview:rview ~value) entries;
+      set_committed t committed
+    end
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let recover_from_wal t =
+  let absorb record =
+    match (Marshal.from_string record 0 : wal_record) with
+    | Wal_accept (v, idx, value) -> store_entry t ~index:idx ~eview:v ~value
+    | Wal_commit idx -> if idx > t.committed then t.committed <- idx
+  in
+  List.iter absorb (Wal.records t.wal);
+  (* Accept records are written asynchronously, so the log can have holes
+     below the recorded committed index (the marker write raced the
+     crash).  Clamp committed to the contiguous prefix: catch-up re-learns
+     the rest from live replicas, and checkpoint replay never sees a
+     gap. *)
+  let rec contiguous idx =
+    if Hashtbl.mem t.log (idx + 1) then contiguous (idx + 1) else idx
+  in
+  t.committed <- min t.committed (contiguous 0);
+  (* The server restarts from a checkpoint and replays explicitly
+     (get_committed_range), so recovered history is not re-applied. *)
+  t.applied <- t.committed
+
+let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group () =
+  let t =
+    {
+      cfg = config;
+      fabric;
+      eng = Fabric.engine fabric;
+      rng;
+      wal;
+      members;
+      self = node;
+      group;
+      view = 0;
+      primary = None;
+      max_view_seen = 0;
+      log = Hashtbl.create 1024;
+      last_index = 0;
+      committed = 0;
+      applied = 0;
+      acks = Hashtbl.create 1024;
+      apply_cb = None;
+      last_heartbeat = Time.zero;
+      election = None;
+      started = false;
+      decisions = 0;
+      view_changes = 0;
+      last_election_duration = None;
+    }
+  in
+  recover_from_wal t;
+  Fabric.bind fabric (ep node) (fun ~src msg ->
+      if Engine.group_alive t.eng group then handle t ~src msg);
+  Engine.on_kill t.eng group (fun () -> Fabric.unbind fabric (ep node));
+  t
+
+let start t ?(as_primary = false) () =
+  if not t.started then begin
+    t.started <- true;
+    t.last_heartbeat <- Engine.now t.eng;
+    let initial_primary =
+      match t.members with first :: _ -> first | [] -> t.self
+    in
+    if as_primary || (t.view = 0 && initial_primary = t.self && t.committed = 0) then begin
+      (* Fresh deployment: the first member bootstraps as primary. *)
+      t.primary <- Some t.self;
+      heartbeat_loop t
+    end
+    else if t.primary = None && t.view = 0 && initial_primary <> t.self then
+      t.primary <- Some initial_primary
+    (* else: a recovered node rejoins as a backup and waits for the
+       current primary's heartbeat (or an election timeout). *);
+    election_monitor t
+  end
+
+let get_committed_range t ~lo ~hi =
+  let rec collect idx acc =
+    if idx > hi || idx > t.committed then List.rev acc
+    else
+      match Hashtbl.find_opt t.log idx with
+      | Some (_, value) -> collect (idx + 1) (value :: acc)
+      | None -> List.rev acc
+  in
+  collect (max 1 lo) []

@@ -1,0 +1,83 @@
+(** The PAXOS consensus component (paper §2.1, §5.1).
+
+    A re-implementation of the well-known, concise viewstamped approach
+    the paper builds on ("Paxos made practical", Mazieres): in the normal
+    case only the primary invokes consensus, so a decision costs one round
+    trip to a quorum plus a durable log write; in exceptional cases a
+    three-step leader election resolves conflicts:
+
+    + backups propose a new view (a standard two-phase consensus),
+    + the proposer that wins the view proposes itself as primary
+      candidate (another two-phase consensus, carrying the merged log),
+    + the new leader announces itself as the new primary.
+
+    Values are opaque strings (CRANE serializes socket-call records into
+    them); each decided value carries a global, monotonically increasing
+    index that checkpoints reference.  [on_commit] fires on {e every}
+    replica, in index order, exactly once per index per incarnation.
+
+    Failure detection follows the paper: the primary heartbeats every
+    second; backups that miss heartbeats for three seconds elect a new
+    leader (with per-node jitter to avoid duels). *)
+
+type t
+
+type config = {
+  heartbeat_period : Crane_sim.Time.t;  (** default 1 s *)
+  election_timeout : Crane_sim.Time.t;  (** default 3 s *)
+  election_jitter : Crane_sim.Time.t;  (** extra per-node random delay, default 300 ms *)
+  round_retry : Crane_sim.Time.t;  (** view-change retry backoff, default 500 ms *)
+}
+
+val default_config : config
+
+val create :
+  ?config:config ->
+  fabric:Crane_net.Fabric.t ->
+  rng:Crane_sim.Rng.t ->
+  wal:Crane_storage.Wal.t ->
+  members:Crane_net.Fabric.node list ->
+  node:Crane_net.Fabric.node ->
+  group:Crane_sim.Engine.group ->
+  unit ->
+  t
+(** A consensus component for [node].  If [wal] holds records from a
+    previous incarnation, the log and committed index are recovered from
+    it.  All timers and message handling die with [group]. *)
+
+val start : t -> ?as_primary:bool -> unit -> unit
+(** Arm timers and (on the initial primary — by convention the first
+    member — or when [as_primary] is set) start heartbeating. *)
+
+val node : t -> Crane_net.Fabric.node
+val view : t -> int
+val is_primary : t -> bool
+
+val primary : t -> Crane_net.Fabric.node option
+(** This node's current belief about who leads. *)
+
+val submit : t -> string -> bool
+(** Propose a value.  Returns [false] (and does nothing) unless this node
+    currently believes itself primary.  Decisions are reported through
+    {!on_commit}. *)
+
+val on_commit : t -> (index:int -> string -> unit) -> unit
+(** Register the application callback (one per component). *)
+
+val committed : t -> int
+(** Highest committed index (0 = nothing yet). *)
+
+val applied : t -> int
+
+val get_committed_range : t -> lo:int -> hi:int -> string list
+(** Committed values with indices in [lo..hi] (for checkpoint replay). *)
+
+val decisions : t -> int
+(** Number of consensus decisions reached on this node. *)
+
+val view_changes : t -> int
+
+val last_election_duration : t -> Crane_sim.Time.t option
+(** Wall-clock (virtual) time of the most recent successful election this
+    node won, from first view-change message to new-view announcement —
+    the paper's 1.97 ms figure. *)

@@ -1,0 +1,1 @@
+lib/pthread/pthread.ml: Crane_sim List

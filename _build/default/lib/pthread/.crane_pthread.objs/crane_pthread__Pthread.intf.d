@@ -1,0 +1,1 @@
+lib/pthread/pthread.mli: Crane_sim

@@ -1,0 +1,170 @@
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Rng = Crane_sim.Rng
+
+type cost = { uncontended : Time.t; context_switch : Time.t; wake_jitter : Time.t }
+
+let default_cost =
+  { uncontended = Time.ns 60; context_switch = Time.ns 1500; wake_jitter = Time.us 150 }
+
+type t = {
+  eng : Engine.t;
+  rng : Rng.t;
+  cost : cost;
+  mutable sync_ops : int;
+  mutable context_switches : int;
+}
+
+let create ?(cost = default_cost) eng rng =
+  { eng; rng; cost; sync_ops = 0; context_switches = 0 }
+
+let engine t = t.eng
+let sync_ops t = t.sync_ops
+let context_switches t = t.context_switches
+
+(* A wait set with randomized wake order: the OS scheduler model. *)
+module Waitset = struct
+  type w = { rt : t; mutable waiters : (unit -> bool) list }
+
+  let create rt = { rt; waiters = [] }
+
+  let park w =
+    w.rt.context_switches <- w.rt.context_switches + 1;
+    Engine.suspend w.rt.eng (fun wake -> w.waiters <- w.waiters @ [ wake ]);
+    (* Charge the wake-up half of the context switch, plus OS scheduling
+       latency (wake-to-run delay on a loaded machine). *)
+    let jitter =
+      if w.rt.cost.wake_jitter > 0 then Rng.int w.rt.rng w.rt.cost.wake_jitter else 0
+    in
+    Engine.sleep w.rt.eng (w.rt.cost.context_switch + jitter)
+
+  (* Wake one waiter chosen at random; returns false when none was woken. *)
+  let rec wake_one w =
+    match w.waiters with
+    | [] -> false
+    | waiters ->
+      let i = Rng.int w.rt.rng (List.length waiters) in
+      let chosen = List.nth waiters i in
+      w.waiters <- List.filteri (fun j _ -> j <> i) waiters;
+      if chosen () then true else wake_one w
+
+  let wake_all w =
+    let all = w.waiters in
+    w.waiters <- [];
+    List.iter (fun wake -> ignore (wake ())) (Rng.shuffle w.rt.rng all)
+end
+
+let charge_fast rt =
+  rt.sync_ops <- rt.sync_ops + 1;
+  if rt.cost.uncontended > 0 then Engine.sleep rt.eng rt.cost.uncontended
+
+module Mutex = struct
+  type m = { rt : t; mutable locked : bool; ws : Waitset.w }
+
+  let create rt = { rt; locked = false; ws = Waitset.create rt }
+
+  let rec lock m =
+    charge_fast m.rt;
+    if m.locked then begin
+      Waitset.park m.ws;
+      lock m
+    end
+    else m.locked <- true
+
+  let try_lock m =
+    charge_fast m.rt;
+    if m.locked then false
+    else begin
+      m.locked <- true;
+      true
+    end
+
+  let unlock m =
+    if not m.locked then invalid_arg "Pthread.Mutex.unlock: not locked";
+    charge_fast m.rt;
+    m.locked <- false;
+    ignore (Waitset.wake_one m.ws)
+end
+
+module Cond = struct
+  type c = { rt : t; ws : Waitset.w }
+
+  let create rt = { rt; ws = Waitset.create rt }
+
+  let wait c mu =
+    charge_fast c.rt;
+    Mutex.unlock mu;
+    Waitset.park c.ws;
+    Mutex.lock mu
+
+  let signal c =
+    charge_fast c.rt;
+    ignore (Waitset.wake_one c.ws)
+
+  let broadcast c =
+    charge_fast c.rt;
+    Waitset.wake_all c.ws
+end
+
+module Rwlock = struct
+  type rw = { rt : t; mutable readers : int; mutable writer : bool; ws : Waitset.w }
+
+  let create rt = { rt; readers = 0; writer = false; ws = Waitset.create rt }
+
+  let rec rdlock l =
+    charge_fast l.rt;
+    if l.writer then begin
+      Waitset.park l.ws;
+      rdlock l
+    end
+    else l.readers <- l.readers + 1
+
+  let rec wrlock l =
+    charge_fast l.rt;
+    if l.writer || l.readers > 0 then begin
+      Waitset.park l.ws;
+      wrlock l
+    end
+    else l.writer <- true
+
+  let unlock l =
+    charge_fast l.rt;
+    if l.writer then l.writer <- false
+    else if l.readers > 0 then l.readers <- l.readers - 1
+    else invalid_arg "Pthread.Rwlock.unlock: not held";
+    Waitset.wake_all l.ws
+end
+
+module Sem = struct
+  type s = { rt : t; mutable count : int; ws : Waitset.w }
+
+  let create rt count = { rt; count; ws = Waitset.create rt }
+
+  let post s =
+    charge_fast s.rt;
+    s.count <- s.count + 1;
+    ignore (Waitset.wake_one s.ws)
+
+  let rec wait s =
+    charge_fast s.rt;
+    if s.count > 0 then s.count <- s.count - 1
+    else begin
+      Waitset.park s.ws;
+      wait s
+    end
+end
+
+module Barrier = struct
+  type b = { rt : t; n : int; mutable arrived : int; ws : Waitset.w }
+
+  let create rt n = { rt; n; arrived = 0; ws = Waitset.create rt }
+
+  let wait b =
+    charge_fast b.rt;
+    b.arrived <- b.arrived + 1;
+    if b.arrived >= b.n then begin
+      b.arrived <- 0;
+      Waitset.wake_all b.ws
+    end
+    else Waitset.park b.ws
+end

@@ -1,0 +1,84 @@
+(** Nondeterministic thread-synchronization primitives.
+
+    This is the un-replicated baseline of the paper's evaluation: the
+    Pthreads runtime.  Wake order under contention is drawn from a seeded
+    RNG, so the same program exercises different schedules under different
+    seeds — the paper's source S2 of replica divergence.
+
+    A cost model charges virtual time per operation: an uncontended
+    operation is cheap; blocking and being woken costs a context switch
+    (futex-style).  The counters feed the MediaTomb sync-context-switch
+    comparison of §7.3. *)
+
+type t
+(** One runtime instance per simulated process. *)
+
+type cost = {
+  uncontended : Crane_sim.Time.t;  (** fast-path lock/unlock *)
+  context_switch : Crane_sim.Time.t;  (** block + wake under contention *)
+  wake_jitter : Crane_sim.Time.t;
+      (** OS wake-to-run latency bound: each wake-up adds a uniform random
+          delay in [0, wake_jitter) — the scheduler noise that makes
+          contended Pthreads runs slow and nondeterministic. *)
+}
+
+val default_cost : cost
+
+val create : ?cost:cost -> Crane_sim.Engine.t -> Crane_sim.Rng.t -> t
+
+val engine : t -> Crane_sim.Engine.t
+
+val sync_ops : t -> int
+(** Total synchronization operations performed. *)
+
+val context_switches : t -> int
+(** Times a thread blocked and was later woken under contention. *)
+
+module Mutex : sig
+  type m
+
+  val create : t -> m
+  val lock : m -> unit
+  val unlock : m -> unit
+  (** @raise Invalid_argument when unlocking a free mutex. *)
+
+  val try_lock : m -> bool
+end
+
+module Cond : sig
+  type c
+
+  val create : t -> c
+  val wait : c -> Mutex.m -> unit
+  (** Atomically release the mutex and block; re-acquires before return. *)
+
+  val signal : c -> unit
+  (** Wake one random waiter (no-op when none). *)
+
+  val broadcast : c -> unit
+end
+
+module Rwlock : sig
+  type rw
+
+  val create : t -> rw
+  val rdlock : rw -> unit
+  val wrlock : rw -> unit
+  val unlock : rw -> unit
+end
+
+module Sem : sig
+  type s
+
+  val create : t -> int -> s
+  val post : s -> unit
+  val wait : s -> unit
+end
+
+module Barrier : sig
+  type b
+
+  val create : t -> int -> b
+  val wait : b -> unit
+  (** Block until [n] threads arrive; all released together. *)
+end

@@ -1,0 +1,39 @@
+(** Sample statistics for benchmark results (virtual-time latencies). *)
+
+let sorted samples = List.sort compare samples
+
+let median samples =
+  match sorted samples with
+  | [] -> 0
+  | s ->
+    let n = List.length s in
+    List.nth s (n / 2)
+
+let percentile p samples =
+  match sorted samples with
+  | [] -> 0
+  | s ->
+    let n = List.length s in
+    let idx = int_of_float (Float.of_int (n - 1) *. p) in
+    List.nth s idx
+
+let mean samples =
+  match samples with
+  | [] -> 0.0
+  | s -> float_of_int (List.fold_left ( + ) 0 s) /. float_of_int (List.length s)
+
+let min_max samples =
+  match sorted samples with
+  | [] -> (0, 0)
+  | s -> (List.hd s, List.nth s (List.length s - 1))
+
+(** Normalized performance as the paper plots it: baseline median
+    response time / system median response time, in percent (100 = equal,
+    <100 = overhead, >100 = speedup). *)
+let normalized_pct ~baseline ~system =
+  if system = 0 then 0.0 else 100.0 *. float_of_int baseline /. float_of_int system
+
+(** Overhead percentage: (system - baseline) / baseline * 100. *)
+let overhead_pct ~baseline ~system =
+  if baseline = 0 then 0.0
+  else 100.0 *. float_of_int (system - baseline) /. float_of_int baseline

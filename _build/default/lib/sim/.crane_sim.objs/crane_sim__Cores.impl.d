@@ -1,0 +1,1 @@
+lib/sim/cores.ml: Engine Queue

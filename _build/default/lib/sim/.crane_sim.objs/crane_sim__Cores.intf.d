@@ -1,0 +1,1 @@
+lib/sim/cores.mli: Engine Time

@@ -1,0 +1,164 @@
+type group = int
+
+type thread = { tid : int; name : string; tgroup : group option }
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  events : (unit -> unit) Pheap.t;
+  mutable current : thread option;
+  mutable next_group : int;
+  mutable next_tid : int;
+  dead_groups : (group, unit) Hashtbl.t;
+  kill_hooks : (group, (unit -> unit) list ref) Hashtbl.t;
+  mutable failed : (string * exn) list;
+}
+
+type 'a waker = 'a -> bool
+
+exception Limit_exceeded
+
+let create () =
+  {
+    clock = Time.zero;
+    seq = 0;
+    events = Pheap.create ();
+    current = None;
+    next_group = 0;
+    next_tid = 0;
+    dead_groups = Hashtbl.create 16;
+    kill_hooks = Hashtbl.create 16;
+    failed = [];
+  }
+
+let now t = t.clock
+
+let new_group t =
+  let g = t.next_group in
+  t.next_group <- g + 1;
+  g
+
+let group_alive t g = not (Hashtbl.mem t.dead_groups g)
+
+let on_kill t g hook =
+  match Hashtbl.find_opt t.kill_hooks g with
+  | Some l -> l := hook :: !l
+  | None -> Hashtbl.add t.kill_hooks g (ref [ hook ])
+
+let kill_group t g =
+  if group_alive t g then begin
+    Hashtbl.add t.dead_groups g ();
+    match Hashtbl.find_opt t.kill_hooks g with
+    | None -> ()
+    | Some l ->
+      let hooks = List.rev !l in
+      l := [];
+      List.iter (fun hook -> hook ()) hooks
+  end
+
+let alive t = function None -> true | Some g -> group_alive t g
+
+let schedule t ?group time fn =
+  let time = if time < t.clock then t.clock else time in
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  let fn = match group with
+    | None -> fn
+    | Some g -> fun () -> if group_alive t g then fn ()
+  in
+  Pheap.push t.events ~time ~seq fn
+
+let at t ?group time fn = schedule t ?group time fn
+let after t ?group delay fn = schedule t ?group (t.clock + delay) fn
+
+let timer t ?group delay fn =
+  let cancelled = ref false in
+  schedule t ?group (t.clock + delay) (fun () -> if not !cancelled then fn ());
+  fun () -> cancelled := true
+
+type _ Effect.t += Suspend : (('a -> bool) -> unit) -> 'a Effect.t
+
+let handler t th =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> ());
+    exnc = (fun e -> t.failed <- t.failed @ [ (th.name, e) ]);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Suspend f ->
+          Some
+            (fun (k : (a, unit) continuation) ->
+              let fired = ref false in
+              let waker v =
+                if !fired || not (alive t th.tgroup) then false
+                else begin
+                  fired := true;
+                  schedule t t.clock (fun () ->
+                      if alive t th.tgroup then begin
+                        let saved = t.current in
+                        t.current <- Some th;
+                        continue k v;
+                        t.current <- saved
+                      end);
+                  true
+                end
+              in
+              f waker)
+        | _ -> None);
+  }
+
+let spawn_with_tid t ?group ~name body =
+  let group =
+    match group with
+    | Some _ as g -> g
+    | None -> (match t.current with Some th -> th.tgroup | None -> None)
+  in
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let th = { tid; name; tgroup = group } in
+  schedule t t.clock (fun () ->
+      if alive t th.tgroup then begin
+        let saved = t.current in
+        t.current <- Some th;
+        Effect.Deep.match_with body () (handler t th);
+        t.current <- saved
+      end);
+  tid
+
+let spawn t ?group ~name body = ignore (spawn_with_tid t ?group ~name body)
+
+let suspend (_ : t) f = Effect.perform (Suspend f)
+
+let sleep t d =
+  suspend t (fun wake -> schedule t (t.clock + d) (fun () -> ignore (wake ())))
+
+let yield t = sleep t 0
+
+let self_name t = match t.current with Some th -> th.name | None -> "-"
+let self_tid t = match t.current with Some th -> th.tid | None -> -1
+let self_group t = match t.current with Some th -> th.tgroup | None -> None
+
+let run ?until ?(limit = 200_000_000) t =
+  let steps = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match Pheap.peek_time t.events with
+    | None -> continue_ := false
+    | Some time -> (
+      match until with
+      | Some stop when time > stop ->
+        t.clock <- stop;
+        continue_ := false
+      | _ -> (
+        incr steps;
+        if !steps > limit then raise Limit_exceeded;
+        match Pheap.pop t.events with
+        | None -> continue_ := false
+        | Some (time, _, fn) ->
+          t.clock <- time;
+          fn ()))
+  done
+
+let failures t = t.failed
+let pending_events t = Pheap.length t.events

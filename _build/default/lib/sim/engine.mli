@@ -1,0 +1,96 @@
+(** Deterministic discrete-event engine with green threads.
+
+    The engine owns a single priority queue of events keyed by
+    [(virtual time, sequence number)], so execution order is a pure
+    function of the event insertion order: a whole distributed run is
+    reproducible from its seed.
+
+    Simulated threads are OCaml 5 effect-based fibers.  A thread blocks by
+    performing {!suspend}, which hands a one-shot [waker] to the caller;
+    whoever holds the waker resumes the thread (a timer, a mutex release, a
+    packet arrival...).  Wakers are idempotent and report whether they won,
+    which gives race-free blocking-with-timeout.
+
+    Threads belong to a {e group} (one group per replica incarnation).
+    Killing a group models a process crash (SIGKILL): its threads never run
+    again, no cleanup code executes, and its scheduled callbacks are
+    dropped. *)
+
+type t
+
+type group = int
+(** A replica incarnation.  Fresh groups come from {!new_group}. *)
+
+type 'a waker = 'a -> bool
+(** [waker v] resumes the suspended thread with [v].  Returns [false] if
+    the thread was already woken by a rival waker or its group was killed;
+    callers that hand out several wakers for one suspension (e.g. signal +
+    timeout) use the return value to pick the survivor. *)
+
+exception Limit_exceeded
+(** Raised by {!run} when the configured event budget is exhausted —
+    a guard against accidental non-termination of a model. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val new_group : t -> group
+
+val kill_group : t -> group -> unit
+(** Crash a replica incarnation: threads in the group are abandoned and
+    its pending callbacks will not fire.  Registered {!on_kill} hooks run
+    immediately (they model externally visible effects of the crash, such
+    as TCP resets seen by peers). *)
+
+val group_alive : t -> group -> bool
+
+val on_kill : t -> group -> (unit -> unit) -> unit
+(** Register a hook to run when [group] is killed. *)
+
+val spawn : t -> ?group:group -> name:string -> (unit -> unit) -> unit
+(** Create a thread.  It starts at the current instant, after already
+    queued events.  An exception escaping the thread body is recorded (see
+    {!failures}) and terminates only that thread. *)
+
+val spawn_with_tid : t -> ?group:group -> name:string -> (unit -> unit) -> int
+(** Like {!spawn}, returning the new thread's id (known before it runs). *)
+
+val at : t -> ?group:group -> Time.t -> (unit -> unit) -> unit
+(** Schedule a plain callback at an absolute instant (>= now). *)
+
+val after : t -> ?group:group -> Time.t -> (unit -> unit) -> unit
+(** Schedule a callback after a relative delay. *)
+
+val timer : t -> ?group:group -> Time.t -> (unit -> unit) -> unit -> unit
+(** [timer t d f] schedules [f] after delay [d] and returns a canceller. *)
+
+val suspend : t -> ('a waker -> unit) -> 'a
+(** Block the current thread.  [suspend t f] calls [f waker] immediately
+    (still on the current thread's stack) and returns when the waker is
+    fired.  Must be called from a simulated thread. *)
+
+val sleep : t -> Time.t -> unit
+(** Block for a virtual duration. *)
+
+val yield : t -> unit
+(** Reschedule behind already-queued same-instant events. *)
+
+val self_name : t -> string
+(** Name of the running thread ("-" outside any thread). *)
+
+val self_tid : t -> int
+(** Unique id of the running thread (-1 outside any thread). *)
+
+val self_group : t -> group option
+
+val run : ?until:Time.t -> ?limit:int -> t -> unit
+(** Drain the event queue.  [until] stops the clock at a given instant
+    (remaining events stay queued); [limit] bounds the number of events
+    processed (default 200 million).  @raise Limit_exceeded *)
+
+val failures : t -> (string * exn) list
+(** Threads that died with an uncaught exception, oldest first. *)
+
+val pending_events : t -> int

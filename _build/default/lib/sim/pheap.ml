@@ -1,0 +1,64 @@
+type 'a entry = { time : Time.t; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let dummy = { time = 0; seq = 0; value = Obj.magic 0 }
+
+let create () = { data = Array.make 16 dummy; size = 0 }
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) dummy in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let push t ~time ~seq value =
+  if t.size = Array.length t.data then grow t;
+  let e = { time; seq; value } in
+  (* Sift up. *)
+  let rec up i =
+    if i = 0 then t.data.(0) <- e
+    else
+      let parent = (i - 1) / 2 in
+      if lt e t.data.(parent) then begin
+        t.data.(i) <- t.data.(parent);
+        up parent
+      end
+      else t.data.(i) <- e
+  in
+  up t.size;
+  t.size <- t.size + 1
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let min = t.data.(0) in
+    t.size <- t.size - 1;
+    let e = t.data.(t.size) in
+    t.data.(t.size) <- dummy;
+    if t.size > 0 then begin
+      (* Sift down. *)
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let smallest = if l < t.size && lt t.data.(l) e then l else i in
+        let smallest =
+          if r < t.size && lt t.data.(r) (if smallest = i then e else t.data.(smallest))
+          then r
+          else smallest
+        in
+        if smallest = i then t.data.(i) <- e
+        else begin
+          t.data.(i) <- t.data.(smallest);
+          down smallest
+        end
+      in
+      down 0
+    end;
+    Some (min.time, min.seq, min.value)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.data.(0).time

@@ -1,0 +1,20 @@
+(** Mutable binary min-heap keyed by [(time, sequence-number)].
+
+    The event queue of the simulator.  The sequence number breaks ties
+    between events scheduled for the same virtual instant, making the run
+    order fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:Time.t -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (Time.t * int * 'a) option
+(** Removes and returns the minimum element, ordered by time then seq. *)
+
+val peek_time : 'a t -> Time.t option
+(** The timestamp of the minimum element, without removing it. *)

@@ -1,0 +1,36 @@
+(** Virtual time for the discrete-event simulator.
+
+    All durations and instants in the simulation are expressed in
+    nanoseconds of virtual time.  No wall-clock time is ever consulted, so
+    a run is reproducible bit-for-bit from its seed. *)
+
+type t = int
+(** An instant or a duration, in nanoseconds.  63-bit ints give ~292 years
+    of simulated time, far beyond any experiment here. *)
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is [n] milliseconds. *)
+
+val sec : int -> t
+(** [sec n] is [n] seconds. *)
+
+val of_float_sec : float -> t
+(** [of_float_sec s] converts [s] seconds to virtual time, rounding to the
+    nearest nanosecond. *)
+
+val to_float_sec : t -> float
+val to_float_ms : t -> float
+val to_float_us : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit (ns/us/ms/s). *)
+
+val to_string : t -> string

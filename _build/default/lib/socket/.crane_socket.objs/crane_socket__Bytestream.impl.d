@@ -1,0 +1,1 @@
+lib/socket/bytestream.ml: Buffer Queue String

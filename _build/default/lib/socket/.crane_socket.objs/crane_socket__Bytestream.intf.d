@@ -1,0 +1,1 @@
+lib/socket/bytestream.mli:

@@ -1,0 +1,1 @@
+lib/socket/sock.ml: Bytestream Crane_net Crane_sim Hashtbl List Printf Queue String

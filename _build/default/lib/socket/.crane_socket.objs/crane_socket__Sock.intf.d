@@ -1,0 +1,1 @@
+lib/socket/sock.mli: Crane_net Crane_sim

@@ -1,0 +1,263 @@
+module Time = Crane_sim.Time
+module Fabric = Crane_net.Fabric
+module Engine = Crane_sim.Engine
+
+exception Connection_refused of Fabric.node * int
+exception Connection_closed
+
+let transport_port = 0
+
+type conn = {
+  cid : int;
+  w : world;
+  local : Fabric.node;
+  remote : Fabric.node;
+  rx : Bytestream.t;
+  mutable eof : bool; (* peer closed or crashed *)
+  mutable closed : bool; (* this side closed *)
+  rx_waiters : (unit -> bool) Queue.t;
+}
+
+and listener = {
+  lw : world;
+  lnode : Fabric.node;
+  lport : int;
+  backlog : conn Queue.t;
+  accept_waiters : (unit -> bool) Queue.t;
+  mutable lclosed : bool;
+}
+
+and world = {
+  fabric : Fabric.t;
+  eng : Engine.t;
+  mutable next_cid : int;
+  conns : (Fabric.node * int, conn) Hashtbl.t;
+  listeners : (Fabric.node * int, listener) Hashtbl.t;
+  pending_connects : (int, bool -> bool) Hashtbl.t;
+  bound : (Fabric.node, unit) Hashtbl.t;
+}
+
+type Fabric.message +=
+  | Syn of { cid : int; dst_port : int }
+  | Syn_ack of { cid : int }
+  | Rst of { cid : int }
+  | Data of { cid : int; payload : string }
+  | Fin of { cid : int }
+
+(* Wake the first still-live waiter in a queue. *)
+let rec wake_one q =
+  match Queue.take_opt q with
+  | None -> ()
+  | Some wake -> if not (wake ()) then wake_one q
+
+let wake_all q =
+  while not (Queue.is_empty q) do
+    ignore ((Queue.pop q) ())
+  done
+
+let mark_eof c =
+  if not c.eof then begin
+    c.eof <- true;
+    wake_all c.rx_waiters
+  end
+
+let ep node = { Fabric.node; port = transport_port }
+
+let handle w ~node ~src msg =
+  let find cid = Hashtbl.find_opt w.conns (node, cid) in
+  match msg with
+  | Syn { cid; dst_port } -> (
+    match Hashtbl.find_opt w.listeners (node, dst_port) with
+    | Some l when not l.lclosed ->
+      let c =
+        {
+          cid;
+          w;
+          local = node;
+          remote = src.Fabric.node;
+          rx = Bytestream.create ();
+          eof = false;
+          closed = false;
+          rx_waiters = Queue.create ();
+        }
+      in
+      Hashtbl.replace w.conns (node, cid) c;
+      Queue.add c l.backlog;
+      wake_one l.accept_waiters;
+      Fabric.send w.fabric ~src:(ep node) ~dst:src (Syn_ack { cid })
+    | Some _ | None ->
+      Fabric.send w.fabric ~src:(ep node) ~dst:src (Rst { cid }))
+  | Syn_ack { cid } -> (
+    match Hashtbl.find_opt w.pending_connects cid with
+    | Some wake ->
+      Hashtbl.remove w.pending_connects cid;
+      ignore (wake true)
+    | None -> ())
+  | Rst { cid } -> (
+    match Hashtbl.find_opt w.pending_connects cid with
+    | Some wake ->
+      Hashtbl.remove w.pending_connects cid;
+      ignore (wake false)
+    | None -> ( match find cid with Some c -> mark_eof c | None -> ()))
+  | Data { cid; payload } -> (
+    match find cid with
+    | Some c when not c.closed ->
+      Bytestream.push c.rx payload;
+      wake_one c.rx_waiters
+    | Some _ | None -> ())
+  | Fin { cid } -> (
+    match find cid with Some c -> mark_eof c | None -> ())
+  | _ -> ()
+
+let ensure_bound w node =
+  if not (Hashtbl.mem w.bound node) then begin
+    Hashtbl.add w.bound node ();
+    Fabric.bind w.fabric (ep node) (fun ~src msg -> handle w ~node ~src msg)
+  end
+
+let world fabric =
+  {
+    fabric;
+    eng = Fabric.engine fabric;
+    next_cid = 1;
+    conns = Hashtbl.create 256;
+    listeners = Hashtbl.create 16;
+    pending_connects = Hashtbl.create 16;
+    bound = Hashtbl.create 16;
+  }
+
+let listen w ~node ~port =
+  ensure_bound w node;
+  if Hashtbl.mem w.listeners (node, port) then
+    invalid_arg (Printf.sprintf "Sock.listen: %s:%d already bound" node port);
+  let l =
+    {
+      lw = w;
+      lnode = node;
+      lport = port;
+      backlog = Queue.create ();
+      accept_waiters = Queue.create ();
+      lclosed = false;
+    }
+  in
+  Hashtbl.replace w.listeners (node, port) l;
+  l
+
+let close_listener l =
+  if not l.lclosed then begin
+    l.lclosed <- true;
+    Hashtbl.remove l.lw.listeners (l.lnode, l.lport);
+    wake_all l.accept_waiters
+  end
+
+let pending l = Queue.length l.backlog
+
+let wait_acceptable ?timeout l =
+  if not (Queue.is_empty l.backlog) then true
+  else if l.lclosed then false
+  else begin
+    Engine.suspend l.lw.eng (fun wake ->
+        Queue.add (fun () -> wake ()) l.accept_waiters;
+        match timeout with
+        | None -> ()
+        | Some d -> Engine.after l.lw.eng d (fun () -> ignore (wake ())));
+    not (Queue.is_empty l.backlog)
+  end
+
+let rec accept l =
+  match Queue.take_opt l.backlog with
+  | Some c -> c
+  | None ->
+    if l.lclosed then raise Connection_closed;
+    Engine.suspend l.lw.eng (fun wake ->
+        Queue.add (fun () -> wake ()) l.accept_waiters);
+    accept l
+
+let connect w ~from ~node ~port =
+  ensure_bound w from;
+  let cid = w.next_cid in
+  w.next_cid <- cid + 1;
+  let c =
+    {
+      cid;
+      w;
+      local = from;
+      remote = node;
+      rx = Bytestream.create ();
+      eof = false;
+      closed = false;
+      rx_waiters = Queue.create ();
+    }
+  in
+  Hashtbl.replace w.conns (from, cid) c;
+  Fabric.send w.fabric ~src:(ep from) ~dst:(ep node) (Syn { cid; dst_port = port });
+  let ok =
+    Engine.suspend w.eng (fun wake ->
+        Hashtbl.replace w.pending_connects cid (fun ok -> wake ok);
+        (* Connect timeout: a dead or partitioned server refuses after 1s. *)
+        Engine.after w.eng (Time.sec 1) (fun () ->
+            if Hashtbl.mem w.pending_connects cid then begin
+              Hashtbl.remove w.pending_connects cid;
+              ignore (wake false)
+            end))
+  in
+  if not ok then begin
+    Hashtbl.remove w.conns (from, cid);
+    raise (Connection_refused (node, port))
+  end;
+  c
+
+let send (c : conn) payload =
+  if c.closed then raise Connection_closed;
+  if (not c.eof) && String.length payload > 0 then
+    Fabric.send c.w.fabric ~src:(ep c.local) ~dst:(ep c.remote)
+      (Data { cid = c.cid; payload })
+
+let recv ?timeout (c : conn) ~max =
+  let rec loop deadline_armed =
+    if not (Bytestream.is_empty c.rx) then Bytestream.take c.rx ~max
+    else if c.eof || c.closed then ""
+    else if deadline_armed then ""
+    else begin
+      let timed_out = ref false in
+      Engine.suspend c.w.eng (fun wake ->
+          Queue.add (fun () -> wake ()) c.rx_waiters;
+          match timeout with
+          | None -> ()
+          | Some d ->
+            Engine.after c.w.eng d (fun () ->
+                if wake () then timed_out := true));
+      loop !timed_out
+    end
+  in
+  loop false
+
+let recv_ready (c : conn) = (not (Bytestream.is_empty c.rx)) || c.eof
+
+let close (c : conn) =
+  if not c.closed then begin
+    c.closed <- true;
+    if not c.eof then
+      Fabric.send c.w.fabric ~src:(ep c.local) ~dst:(ep c.remote)
+        (Fin { cid = c.cid });
+    wake_all c.rx_waiters
+  end
+
+let id (c : conn) = c.cid
+let local_node (c : conn) = c.local
+let peer_node (c : conn) = c.remote
+let is_open (c : conn) = not (c.closed || c.eof)
+
+let node_crashed w node =
+  (* Listeners on the node evaporate. *)
+  let doomed =
+    Hashtbl.fold
+      (fun (n, p) l acc -> if n = node then (n, p, l) :: acc else acc)
+      w.listeners []
+  in
+  List.iter (fun (_, _, l) -> close_listener l) doomed;
+  (* Peers of connections touching the node observe EOF. *)
+  Hashtbl.iter
+    (fun (n, _) c -> if n <> node && c.remote = node then mark_eof c)
+    w.conns;
+  ()

@@ -1,0 +1,42 @@
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+
+type t = {
+  eng : Engine.t;
+  wname : string;
+  write_latency : Time.t;
+  mutable stable : string list; (* newest first *)
+  mutable writes : int;
+  (* Writes become stable in submission order even when issued
+     concurrently: model a single flash channel. *)
+  mutable last_stable_at : Time.t;
+}
+
+let create ?(write_latency = Time.us 15) eng ~name =
+  { eng; wname = name; write_latency; stable = []; writes = 0; last_stable_at = Time.zero }
+
+let name t = t.wname
+
+let stable_time t =
+  let now = Engine.now t.eng in
+  let at = max (now + t.write_latency) (t.last_stable_at + t.write_latency) in
+  t.last_stable_at <- at;
+  at
+
+let append_async t record k =
+  t.writes <- t.writes + 1;
+  Engine.at t.eng (stable_time t) (fun () ->
+      t.stable <- record :: t.stable;
+      k ())
+
+let append t record =
+  Engine.suspend t.eng (fun wake ->
+      append_async t record (fun () -> ignore (wake ())))
+
+let records t = List.rev t.stable
+let length t = List.length t.stable
+let writes t = t.writes
+
+let reset t =
+  t.stable <- [];
+  t.writes <- 0

@@ -1,0 +1,32 @@
+(** Write-ahead log on simulated SSD — the Berkeley-DB stand-in of §5.1.
+
+    The paper persists every consensus decision (call type, arguments,
+    global index) to a Berkeley DB on SSD.  Here a record is an opaque
+    string; a synchronous append charges the SSD fsync latency, an
+    asynchronous append invokes a continuation when the write is stable.
+    Contents survive "process crashes" (the record list lives outside any
+    engine group), which is what replica recovery replays. *)
+
+type t
+
+val create : ?write_latency:Crane_sim.Time.t -> Crane_sim.Engine.t -> name:string -> t
+(** Default write latency 15 us (datacenter NVMe fsync). *)
+
+val name : t -> string
+
+val append : t -> string -> unit
+(** Blocking durable append; call from a simulated thread. *)
+
+val append_async : t -> string -> (unit -> unit) -> unit
+(** Durable append from callback context; the continuation runs once the
+    record is stable. *)
+
+val records : t -> string list
+(** All stable records, oldest first. *)
+
+val length : t -> int
+val writes : t -> int
+(** Number of durable writes performed (cost accounting). *)
+
+val reset : t -> unit
+(** Wipe the log (modelling disk replacement in tests). *)

@@ -1,0 +1,1 @@
+lib/workload/clients.ml: Buffer Crane_apps Crane_sim Crane_socket List Printf String Target

@@ -1,0 +1,1 @@
+lib/workload/loadgen.ml: Crane_sim List Printf Target

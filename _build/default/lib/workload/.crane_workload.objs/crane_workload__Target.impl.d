@@ -1,0 +1,1 @@
+lib/workload/target.ml: Crane_core Crane_sim Crane_socket List

@@ -1,0 +1,107 @@
+(** One-request client implementations for each benchmark of §7:
+    ApacheBench (HTTP), clamdscan (clamd line protocol), SysBench (SQL
+    point queries), the MediaTomb transcode request, and curl (the §2.2
+    PUT/GET micro-benchmark).  Each returns the response payload on
+    success. *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Sock = Crane_socket.Sock
+
+let recv_timeout = Time.sec 120
+
+(* Read until [stop] says the accumulated response is complete (or EOF). *)
+let read_until conn ~stop =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    if stop (Buffer.contents buf) then Some (Buffer.contents buf)
+    else
+      let chunk = Sock.recv ~timeout:recv_timeout conn ~max:8192 in
+      if chunk = "" then
+        if Buffer.length buf > 0 then Some (Buffer.contents buf) else None
+      else begin
+        Buffer.add_string buf chunk;
+        go ()
+      end
+  in
+  go ()
+
+let http_complete resp =
+  match Crane_apps.Str_util.find_sub resp "\r\n\r\n" with
+  | None -> false
+  | Some i -> (
+    (* Headers in; is the advertised body in too? *)
+    let headers = String.sub resp 0 i in
+    let body_len = String.length resp - (i + 4) in
+    let advertised =
+      List.fold_left
+        (fun acc line ->
+          match String.lowercase_ascii line with
+          | l when String.length l > 15 && String.sub l 0 15 = "content-length:" ->
+            int_of_string_opt (String.trim (String.sub l 15 (String.length l - 15)))
+          | _ -> acc)
+        None
+        (String.split_on_char '\n' headers)
+    in
+    match advertised with Some n -> body_len >= n | None -> false)
+
+(* ApacheBench: one HTTP request per connection. *)
+let http_request target ~from ~meth ~path ?(body = "") () =
+  match Target.connect target ~from with
+  | None -> None
+  | Some conn ->
+    Sock.send conn (Crane_apps.Httpkit.request ~body meth path);
+    let resp = read_until conn ~stop:http_complete in
+    Sock.close conn;
+    resp
+
+let apachebench target ~from = http_request target ~from ~meth:"GET" ~path:"/test.php" ()
+
+let mediabench target ~from =
+  http_request target ~from ~meth:"GET" ~path:"/transcode/video15.avi" ()
+
+(* clamdscan: one session scans several directories (the ~18 socket calls
+   per request of Table 1). *)
+let clamdscan ?(dirs = 8) target ~from =
+  match Target.connect target ~from with
+  | None -> None
+  | Some conn ->
+    let out = Buffer.create 256 in
+    let ok = ref true in
+    for d = 0 to dirs - 1 do
+      if !ok then begin
+        Sock.send conn (Printf.sprintf "SCAN src/dir%d\n" d);
+        match
+          read_until conn ~stop:(fun r -> Crane_apps.Str_util.find_sub r "OK" <> None)
+        with
+        | Some resp -> Buffer.add_string out resp
+        | None -> ok := false
+      end
+    done;
+    Sock.send conn "END\n";
+    Sock.close conn;
+    if !ok then Some (Buffer.contents out) else None
+
+(* SysBench: handshake + one point query per connection. *)
+let sysbench ~rng ~ntables ~rows target ~from =
+  let module Rng = Crane_sim.Rng in
+  let table = 1 + Rng.int rng ntables in
+  let id = 1 + Rng.int rng rows in
+  match Target.connect target ~from with
+  | None -> None
+  | Some conn ->
+    let result =
+      match
+        read_until conn ~stop:(fun r -> Crane_apps.Str_util.find_sub r "ready" <> None)
+      with
+      | None -> None
+      | Some _banner -> (
+        Sock.send conn (Printf.sprintf "SELECT c FROM sbtest%d WHERE id=%d\n" table id);
+        read_until conn ~stop:(fun r -> Crane_apps.Str_util.find_sub r "\n" <> None))
+    in
+    Sock.close conn;
+    result
+
+(* curl: single calls for the §2.2 PUT/GET race micro-benchmark. *)
+let curl_put target ~from ~path ~body = http_request target ~from ~meth:"PUT" ~path ~body ()
+let curl_get target ~from ~path = http_request target ~from ~meth:"GET" ~path ()

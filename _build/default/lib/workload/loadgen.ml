@@ -1,0 +1,64 @@
+(** Closed-loop load generator, ApacheBench-style: [clients] concurrent
+    client threads issue [requests] total requests against a target,
+    recording per-request response time in virtual time. *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+
+type result = {
+  latencies : Time.t list;  (** successful requests, completion order *)
+  errors : int;
+  wall : Time.t;  (** total virtual duration of the run *)
+}
+
+type handle = { collect : unit -> result; finished : unit -> bool }
+
+let run ?(name = "load") ?(think = Time.zero) ~clients ~requests ~request target =
+  let remaining = ref requests in
+  let latencies = ref [] in
+  let errors = ref 0 in
+  let active = ref clients in
+  let finished = ref None in
+  let eng = target.Target.eng in
+  let t0 = Engine.now eng in
+  for c = 1 to clients do
+    Engine.spawn eng ~name:(Printf.sprintf "%s-client%d" name c) (fun () ->
+        let from = Printf.sprintf "%s-c%d" name c in
+        let rec loop () =
+          if !remaining > 0 then begin
+            decr remaining;
+            let start = Engine.now eng in
+            (match request target ~from with
+            | Some (_ : string) -> latencies := (Engine.now eng - start) :: !latencies
+            | None -> incr errors);
+            if think > 0 then Engine.sleep eng think;
+            loop ()
+          end
+        in
+        loop ();
+        decr active;
+        if !active = 0 then finished := Some (Engine.now eng - t0))
+  done;
+  {
+    collect =
+      (fun () ->
+        {
+          latencies = List.rev !latencies;
+          errors = !errors;
+          wall = (match !finished with Some w -> w | None -> Engine.now eng - t0);
+        });
+    finished = (fun () -> !finished <> None);
+  }
+
+(* Step the engine until the workload completes (or the timeout passes):
+   avoids simulating hours of idle cluster after the last response. *)
+let drive ?(timeout = Time.sec 600) target handle =
+  let eng = target.Target.eng in
+  let deadline = Engine.now eng + timeout in
+  let rec go () =
+    if (not (handle.finished ())) && Engine.now eng < deadline then begin
+      Engine.run ~until:(min deadline (Engine.now eng + Time.ms 500)) eng;
+      go ()
+    end
+  in
+  go ()

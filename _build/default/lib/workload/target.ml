@@ -1,0 +1,56 @@
+(** Where a benchmark client sends its requests: a standalone server or
+    the current primary of a CRANE cluster (with failover retry). *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Sock = Crane_socket.Sock
+module Cluster = Crane_core.Cluster
+module Standalone = Crane_core.Standalone
+
+type t = {
+  eng : Engine.t;
+  world : Sock.world;
+  port : int;
+  pick_node : unit -> string;
+  fallbacks : string list;
+}
+
+let standalone sa ~port =
+  {
+    eng = Standalone.engine sa;
+    world = Standalone.world sa;
+    port;
+    pick_node = (fun () -> "server");
+    fallbacks = [ "server" ];
+  }
+
+let cluster c ~port =
+  {
+    eng = Cluster.engine c;
+    world = Cluster.world c;
+    port;
+    pick_node =
+      (fun () ->
+        match Cluster.primary_node c with
+        | Some n -> n
+        | None -> ( match Cluster.members c with n :: _ -> n | [] -> "replica1"));
+    fallbacks = Cluster.members c;
+  }
+
+(** Connect to the service, retrying across nodes on refusal (a client
+    finding the new primary after a failover).  None after [attempts]. *)
+let connect ?(attempts = 30) t ~from =
+  let rec go n =
+    if n >= attempts then None
+    else
+      let node =
+        if n = 0 then t.pick_node ()
+        else List.nth t.fallbacks (n mod List.length t.fallbacks)
+      in
+      match Sock.connect t.world ~from ~node ~port:t.port with
+      | conn -> Some conn
+      | exception Sock.Connection_refused _ ->
+        Engine.sleep t.eng (Time.ms 50);
+        go (n + 1)
+  in
+  go 0

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Crane_apps Crane_core Crane_fs Crane_paxos Crane_report Crane_sim Crane_workload List Printf

@@ -1,0 +1,1 @@
+test/test_crane.ml: Alcotest Crane_core Crane_fs Crane_paxos Crane_sim Crane_socket List Printf String

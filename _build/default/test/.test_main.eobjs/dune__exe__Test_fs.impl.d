@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Crane_checkpoint Crane_fs Crane_sim Crane_storage List Printexc Printf QCheck QCheck_alcotest String

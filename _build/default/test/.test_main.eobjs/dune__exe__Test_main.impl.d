@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_apps Test_crane Test_fs Test_net Test_paxos Test_sim Test_threads Test_units

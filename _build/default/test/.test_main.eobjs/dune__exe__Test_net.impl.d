@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Buffer Crane_net Crane_sim Crane_socket List Printexc Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_paxos.ml: Alcotest Crane_net Crane_paxos Crane_sim Crane_storage Fun Hashtbl List Option Printf QCheck QCheck_alcotest

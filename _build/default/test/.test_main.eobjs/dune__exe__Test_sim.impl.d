@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Crane_sim List Printexc Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_threads.ml: Alcotest Buffer Crane_dmt Crane_pthread Crane_sim List Printexc Printf QCheck QCheck_alcotest Queue

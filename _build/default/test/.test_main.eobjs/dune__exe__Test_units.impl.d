@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Crane_apps Crane_core Crane_report Crane_sim Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,324 @@
+(* Tests for the network fabric and the TCP-like socket layer. *)
+
+module Time = Crane_sim.Time
+module Rng = Crane_sim.Rng
+module Engine = Crane_sim.Engine
+module Fabric = Crane_net.Fabric
+module Sock = Crane_socket.Sock
+
+type Fabric.message += Ping of int
+
+let setup ?(jitter = Time.us 30) () =
+  let eng = Engine.create () in
+  let fabric = Fabric.create eng (Rng.create 1) in
+  Fabric.set_latency fabric ~base:(Time.us 50) ~jitter;
+  (eng, fabric)
+
+let ep node port = { Fabric.node; port }
+
+(* ------------------------------------------------------------------ *)
+(* Fabric *)
+
+let test_fabric_delivery () =
+  let eng, fabric = setup () in
+  let got = ref [] in
+  Fabric.bind fabric (ep "b" 7) (fun ~src:_ msg ->
+      match msg with Ping n -> got := n :: !got | _ -> ());
+  for i = 1 to 5 do
+    Fabric.send fabric ~src:(ep "a" 1) ~dst:(ep "b" 7) (Ping i)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo per link" [ 1; 2; 3; 4; 5 ] (List.rev !got);
+  Alcotest.(check int) "delivered count" 5 (Fabric.delivered fabric)
+
+let test_fabric_latency_positive () =
+  let eng, fabric = setup () in
+  let arrival = ref Time.zero in
+  Fabric.bind fabric (ep "b" 7) (fun ~src:_ _ -> arrival := Engine.now eng);
+  Fabric.send fabric ~src:(ep "a" 1) ~dst:(ep "b" 7) (Ping 0);
+  Engine.run eng;
+  Alcotest.(check bool) "at least base latency" true (!arrival >= Time.us 50)
+
+let test_fabric_partition () =
+  let eng, fabric = setup () in
+  let got = ref 0 in
+  Fabric.bind fabric (ep "b" 7) (fun ~src:_ _ -> incr got);
+  Fabric.partition fabric [ "a" ] [ "b" ];
+  Fabric.send fabric ~src:(ep "a" 1) ~dst:(ep "b" 7) (Ping 0);
+  Engine.run eng;
+  Alcotest.(check int) "partition blocks" 0 !got;
+  Fabric.heal fabric;
+  Fabric.send fabric ~src:(ep "a" 1) ~dst:(ep "b" 7) (Ping 0);
+  Engine.run eng;
+  Alcotest.(check int) "heal restores" 1 !got
+
+let test_fabric_node_down () =
+  let eng, fabric = setup () in
+  let got = ref 0 in
+  Fabric.bind fabric (ep "b" 7) (fun ~src:_ _ -> incr got);
+  Fabric.node_down fabric "b";
+  Fabric.send fabric ~src:(ep "a" 1) ~dst:(ep "b" 7) (Ping 0);
+  Engine.run eng;
+  Alcotest.(check int) "down node drops" 0 !got;
+  Fabric.node_up fabric "b";
+  Fabric.send fabric ~src:(ep "a" 1) ~dst:(ep "b" 7) (Ping 1);
+  Engine.run eng;
+  Alcotest.(check int) "up node receives" 1 !got
+
+let test_fabric_loss () =
+  let eng, fabric = setup () in
+  Fabric.set_loss fabric 1.0;
+  let got = ref 0 in
+  Fabric.bind fabric (ep "b" 7) (fun ~src:_ _ -> incr got);
+  for _ = 1 to 10 do
+    Fabric.send fabric ~src:(ep "a" 1) ~dst:(ep "b" 7) (Ping 0)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "full loss" 0 !got;
+  Alcotest.(check int) "drops counted" 10 (Fabric.dropped fabric)
+
+let prop_fabric_fifo_per_link =
+  QCheck.Test.make ~name:"fabric preserves per-link order under jitter"
+    ~count:30 QCheck.small_nat (fun seed ->
+      let eng = Engine.create () in
+      let fabric = Fabric.create eng (Rng.create seed) in
+      Fabric.set_latency fabric ~base:(Time.us 10) ~jitter:(Time.us 200);
+      let got = ref [] in
+      Fabric.bind fabric (ep "b" 1) (fun ~src:_ msg ->
+          match msg with Ping n -> got := n :: !got | _ -> ());
+      let n = 50 in
+      for i = 1 to n do
+        Fabric.send fabric ~src:(ep "a" 1) ~dst:(ep "b" 1) (Ping i)
+      done;
+      Engine.run eng;
+      List.rev !got = List.init n (fun i -> i + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Sockets *)
+
+let check_no_failures eng =
+  match Engine.failures eng with
+  | [] -> ()
+  | (name, e) :: _ ->
+    Alcotest.failf "thread %s failed: %s" name (Printexc.to_string e)
+
+let test_sock_echo () =
+  let eng, fabric = setup () in
+  let w = Sock.world fabric in
+  let reply = ref "" in
+  Engine.spawn eng ~name:"server" (fun () ->
+      let l = Sock.listen w ~node:"srv" ~port:80 in
+      let c = Sock.accept l in
+      let req = Sock.recv c ~max:4096 in
+      Sock.send c ("echo:" ^ req);
+      Sock.close c);
+  Engine.spawn eng ~name:"client" (fun () ->
+      Engine.sleep eng (Time.ms 1);
+      let c = Sock.connect w ~from:"cli" ~node:"srv" ~port:80 in
+      Sock.send c "hello";
+      reply := Sock.recv c ~max:4096;
+      Sock.close c);
+  Engine.run eng;
+  check_no_failures eng;
+  Alcotest.(check string) "echo round trip" "echo:hello" !reply
+
+let test_sock_refused () =
+  let eng, fabric = setup () in
+  let w = Sock.world fabric in
+  let refused = ref false in
+  Engine.spawn eng ~name:"client" (fun () ->
+      match Sock.connect w ~from:"cli" ~node:"nowhere" ~port:80 with
+      | (_ : Sock.conn) -> ()
+      | exception Sock.Connection_refused _ -> refused := true);
+  Engine.run eng;
+  check_no_failures eng;
+  Alcotest.(check bool) "no listener refuses" true !refused
+
+let test_sock_eof_on_close () =
+  let eng, fabric = setup () in
+  let w = Sock.world fabric in
+  let eof = ref "sentinel" in
+  Engine.spawn eng ~name:"server" (fun () ->
+      let l = Sock.listen w ~node:"srv" ~port:80 in
+      let c = Sock.accept l in
+      Sock.close c);
+  Engine.spawn eng ~name:"client" (fun () ->
+      Engine.sleep eng (Time.ms 1);
+      let c = Sock.connect w ~from:"cli" ~node:"srv" ~port:80 in
+      eof := Sock.recv c ~max:10);
+  Engine.run eng;
+  check_no_failures eng;
+  Alcotest.(check string) "recv returns empty on EOF" "" !eof
+
+let test_sock_recv_drains_before_eof () =
+  let eng, fabric = setup () in
+  let w = Sock.world fabric in
+  let collected = Buffer.create 16 in
+  Engine.spawn eng ~name:"server" (fun () ->
+      let l = Sock.listen w ~node:"srv" ~port:80 in
+      let c = Sock.accept l in
+      Sock.send c "abcdef";
+      Sock.close c);
+  Engine.spawn eng ~name:"client" (fun () ->
+      Engine.sleep eng (Time.ms 1);
+      let c = Sock.connect w ~from:"cli" ~node:"srv" ~port:80 in
+      Engine.sleep eng (Time.ms 5);
+      (* Data then FIN are both in: small reads drain before EOF. *)
+      let rec go () =
+        let chunk = Sock.recv c ~max:2 in
+        if chunk <> "" then begin
+          Buffer.add_string collected chunk;
+          go ()
+        end
+      in
+      go ());
+  Engine.run eng;
+  check_no_failures eng;
+  Alcotest.(check string) "drained in order" "abcdef" (Buffer.contents collected)
+
+let test_sock_recv_timeout () =
+  let eng, fabric = setup () in
+  let w = Sock.world fabric in
+  let got = ref "x" and t_after = ref Time.zero in
+  Engine.spawn eng ~name:"server" (fun () ->
+      let l = Sock.listen w ~node:"srv" ~port:80 in
+      let (_ : Sock.conn) = Sock.accept l in
+      (* Never send. *)
+      ());
+  Engine.spawn eng ~name:"client" (fun () ->
+      let c = Sock.connect w ~from:"cli" ~node:"srv" ~port:80 in
+      let t0 = Engine.now eng in
+      got := Sock.recv ~timeout:(Time.ms 10) c ~max:10;
+      t_after := Engine.now eng - t0);
+  Engine.run eng;
+  check_no_failures eng;
+  Alcotest.(check string) "timeout yields empty" "" !got;
+  Alcotest.(check bool) "waited about the timeout" true (!t_after >= Time.ms 10)
+
+let test_sock_crash_gives_peer_eof () =
+  let eng, fabric = setup () in
+  let w = Sock.world fabric in
+  let g = Engine.new_group eng in
+  Engine.on_kill eng g (fun () ->
+      Fabric.node_down fabric "srv";
+      Sock.node_crashed w "srv");
+  let eof_seen = ref false in
+  Engine.spawn eng ~group:g ~name:"server" (fun () ->
+      let l = Sock.listen w ~node:"srv" ~port:80 in
+      let (_ : Sock.conn) = Sock.accept l in
+      Engine.sleep eng (Time.sec 10));
+  Engine.spawn eng ~name:"client" (fun () ->
+      Engine.sleep eng (Time.ms 1);
+      let c = Sock.connect w ~from:"cli" ~node:"srv" ~port:80 in
+      let got = Sock.recv c ~max:10 in
+      eof_seen := got = "");
+  Engine.at eng (Time.ms 50) (fun () -> Engine.kill_group eng g);
+  Engine.run eng;
+  check_no_failures eng;
+  Alcotest.(check bool) "peer observes crash as EOF" true !eof_seen
+
+let test_sock_many_clients () =
+  let eng, fabric = setup () in
+  let w = Sock.world fabric in
+  let served = ref 0 in
+  Engine.spawn eng ~name:"server" (fun () ->
+      let l = Sock.listen w ~node:"srv" ~port:80 in
+      for _ = 1 to 20 do
+        let c = Sock.accept l in
+        Engine.spawn eng ~name:"handler" (fun () ->
+            let req = Sock.recv c ~max:100 in
+            Sock.send c req;
+            Sock.close c)
+      done);
+  for i = 1 to 20 do
+    Engine.spawn eng ~name:(Printf.sprintf "cli%d" i) (fun () ->
+        Engine.sleep eng (Time.us (100 * i));
+        let c = Sock.connect w ~from:(Printf.sprintf "c%d" i) ~node:"srv" ~port:80 in
+        let msg = string_of_int i in
+        Sock.send c msg;
+        let r = Sock.recv c ~max:100 in
+        if r = msg then incr served;
+        Sock.close c)
+  done;
+  Engine.run eng;
+  check_no_failures eng;
+  Alcotest.(check int) "all clients served correctly" 20 !served
+
+let test_sock_listener_port_conflict () =
+  let eng, fabric = setup () in
+  let w = Sock.world fabric in
+  let raised = ref false in
+  Engine.spawn eng ~name:"t" (fun () ->
+      let (_ : Sock.listener) = Sock.listen w ~node:"srv" ~port:80 in
+      match Sock.listen w ~node:"srv" ~port:80 with
+      | (_ : Sock.listener) -> ()
+      | exception Invalid_argument _ -> raised := true);
+  Engine.run eng;
+  check_no_failures eng;
+  Alcotest.(check bool) "double bind rejected" true !raised
+
+let test_sock_wait_acceptable () =
+  let eng, fabric = setup () in
+  let w = Sock.world fabric in
+  let first = ref true and second = ref false in
+  Engine.spawn eng ~name:"server" (fun () ->
+      let l = Sock.listen w ~node:"srv" ~port:80 in
+      (* No client yet: times out. *)
+      first := Sock.wait_acceptable ~timeout:(Time.ms 1) l;
+      (* Client arrives afterwards. *)
+      second := Sock.wait_acceptable ~timeout:(Time.sec 1) l);
+  Engine.spawn eng ~name:"client" (fun () ->
+      Engine.sleep eng (Time.ms 10);
+      let (_ : Sock.conn) = Sock.connect w ~from:"cli" ~node:"srv" ~port:80 in
+      ());
+  Engine.run eng;
+  check_no_failures eng;
+  Alcotest.(check bool) "poll times out when idle" false !first;
+  Alcotest.(check bool) "poll sees pending connection" true !second
+
+(* Bytestream *)
+
+let prop_bytestream_roundtrip =
+  QCheck.Test.make ~name:"bytestream concatenates pushes" ~count:200
+    QCheck.(pair (small_list small_printable_string) (int_range 1 7))
+    (fun (chunks, max) ->
+      let b = Crane_socket.Bytestream.create () in
+      List.iter (Crane_socket.Bytestream.push b) chunks;
+      let buf = Buffer.create 16 in
+      let rec drain () =
+        let s = Crane_socket.Bytestream.take b ~max in
+        if s <> "" then begin
+          Buffer.add_string buf s;
+          drain ()
+        end
+      in
+      drain ();
+      Buffer.contents buf = String.concat "" chunks)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "net.fabric",
+      [
+        Alcotest.test_case "delivery + fifo" `Quick test_fabric_delivery;
+        Alcotest.test_case "latency" `Quick test_fabric_latency_positive;
+        Alcotest.test_case "partition" `Quick test_fabric_partition;
+        Alcotest.test_case "node down" `Quick test_fabric_node_down;
+        Alcotest.test_case "loss" `Quick test_fabric_loss;
+        qcheck prop_fabric_fifo_per_link;
+      ] );
+    ( "socket",
+      [
+        Alcotest.test_case "echo" `Quick test_sock_echo;
+        Alcotest.test_case "refused" `Quick test_sock_refused;
+        Alcotest.test_case "eof on close" `Quick test_sock_eof_on_close;
+        Alcotest.test_case "drain before eof" `Quick test_sock_recv_drains_before_eof;
+        Alcotest.test_case "recv timeout" `Quick test_sock_recv_timeout;
+        Alcotest.test_case "crash -> peer eof" `Quick test_sock_crash_gives_peer_eof;
+        Alcotest.test_case "many clients" `Quick test_sock_many_clients;
+        Alcotest.test_case "port conflict" `Quick test_sock_listener_port_conflict;
+        Alcotest.test_case "wait_acceptable" `Quick test_sock_wait_acceptable;
+        qcheck prop_bytestream_roundtrip;
+      ] );
+  ]
