@@ -160,10 +160,10 @@ let run_standalone ?(seed = 42) ~mode (spec : spec) =
   Standalone.check_failures sa;
   summarize (handle.Loadgen.collect ())
 
-let run_cluster ?(seed = 42) ?(hints = true) ?wtimeout ?nclock ~mode (spec : spec) =
+let run_cluster ?(seed = 42) ?(hints = true) ?wtimeout ?nclock ?trace ~mode (spec : spec) =
   let cfg = cluster_cfg ?wtimeout ?nclock ~mode spec in
   let server = spec.server ~hints:(hints && spec.hints_available) in
-  let cluster = Cluster.create ~seed ~cfg ~server () in
+  let cluster = Cluster.create ~seed ~cfg ?trace ~server () in
   Cluster.start ~checkpoints:false cluster;
   let target = Target.cluster cluster ~port:spec.port in
   let rng = Rng.create (seed + 5) in

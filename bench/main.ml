@@ -22,6 +22,8 @@ module Table = Crane_report.Table
 module Loadgen = Crane_workload.Loadgen
 module Target = Crane_workload.Target
 module Clients = Crane_workload.Clients
+module Trace = Crane_trace.Trace
+module Metrics = Crane_trace.Metrics
 open Bench_support
 
 type fig14_row = {
@@ -31,6 +33,8 @@ type fig14_row = {
   paxos_only : run_result;
   crane : run_result;
   crane_nohints : run_result option;
+  attribution : Metrics.t;  (** flight-recorder aggregation of the CRANE run *)
+  prim_node : string;  (** primary replica at end of the CRANE run *)
 }
 
 let norm ~baseline r = Stats.normalized_pct ~baseline:baseline.median ~system:r.median
@@ -48,7 +52,16 @@ let run_fig14 specs =
       Printf.eprintf " paxos-only...%!";
       let paxos_only, _ = run_cluster ~mode:Instance.Paxos_only spec in
       Printf.eprintf " crane...%!";
-      let crane, _ = run_cluster ~mode:Instance.Full spec in
+      (* The CRANE run carries the flight recorder: a non-retaining trace
+         streamed straight into a per-replica aggregation, so even the full
+         workloads cost O(1) memory in events. *)
+      let tr = Trace.create ~retain:false () in
+      let attribution = Metrics.create ~per_node:true () in
+      Metrics.attach attribution tr;
+      let crane, cl = run_cluster ~trace:tr ~mode:Instance.Full spec in
+      let prim_node =
+        match Cluster.primary_node cl with Some n -> n | None -> "replica1"
+      in
       let crane_nohints =
         if spec.hints_available then begin
           Printf.eprintf " crane(no hints)...%!";
@@ -57,7 +70,7 @@ let run_fig14 specs =
         else None
       in
       Printf.eprintf " done\n%!";
-      { spec; native; parrot; paxos_only; crane; crane_nohints })
+      { spec; native; parrot; paxos_only; crane; crane_nohints; attribution; prim_node })
     specs
 
 let print_fig14 rows =
@@ -99,6 +112,41 @@ let print_fig15 rows =
            pct (Stats.overhead_pct ~baseline:r.native.median ~system:r.crane.median);
          ])
        rows15)
+
+(* Where does a CRANE request's latency go?  Attribute the primary
+   replica's recorded virtual time to the paper's three cost centers —
+   PAXOS consensus waits (the decide span, propose to apply), the vhost
+   admission gate, and DMT turn waits — averaged per served request.
+   "compute" is the residual of the median once consensus and gate waits
+   are taken out (clamped at zero: turn waits also cover idle workers
+   parked between requests, so they can exceed the request path). *)
+let print_attribution rows =
+  Table.print
+    ~title:
+      "Overhead attribution under CRANE (primary replica, virtual ms per served request)"
+    ~header:
+      [ "server"; "median ms"; "paxos wait"; "gate wait"; "dmt turn wait"; "compute (residual)" ]
+    (List.map
+       (fun r ->
+         let met = r.attribution in
+         let per_req key =
+           float_of_int (Metrics.total met (r.prim_node ^ "/" ^ key))
+           /. float_of_int (max 1 r.crane.served)
+         in
+         let paxos_w = per_req "paxos.decide" in
+         let gate_w = per_req "gate.block" in
+         let dmt_w = per_req "dmt.turn_wait" in
+         let median = Time.to_float_ms r.crane.median in
+         let compute = Float.max 0.0 (median -. ((paxos_w +. gate_w) /. 1e6)) in
+         [
+           r.spec.sname;
+           Printf.sprintf "%.2f" median;
+           Printf.sprintf "%.3f" (paxos_w /. 1e6);
+           Printf.sprintf "%.3f" (gate_w /. 1e6);
+           Printf.sprintf "%.3f" (dmt_w /. 1e6);
+           Printf.sprintf "%.2f" compute;
+         ])
+       rows)
 
 let print_table1 rows =
   Table.print ~title:"Table 1: ratio of time bubbles in all PAXOS consensus requests"
@@ -405,6 +453,7 @@ let () =
   let rows = run_fig14 specs in
   print_fig14 rows;
   print_fig15 rows;
+  print_attribution rows;
   print_table1 rows;
   run_consistency specs rows;
   run_fig16 specs rows;

@@ -18,6 +18,9 @@ module Target = Crane_workload.Target
 module Clients = Crane_workload.Clients
 module Loadgen = Crane_workload.Loadgen
 module Stats = Crane_report.Stats
+module Table = Crane_report.Table
+module Trace = Crane_trace.Trace
+module Metrics = Crane_trace.Metrics
 open Cmdliner
 
 type server_choice = Apache | Mongoose | Clamav | Mediatomb | Mysql
@@ -46,6 +49,15 @@ let all_modes =
   [ ("native", Native); ("parrot", Parrot); ("paxos-only", PaxosOnly);
     ("crane", Crane); ("plan2", PlanII) ]
 
+let fast_paxos =
+  { Paxos.heartbeat_period = Time.ms 200; election_timeout = Time.ms 600;
+    election_jitter = Time.ms 100; round_retry = Time.ms 200 }
+
+let imode_of = function
+  | PaxosOnly -> Instance.Paxos_only
+  | PlanII -> Instance.No_bubbling
+  | Native | Parrot | Crane -> Instance.Full
+
 let report name (r : Loadgen.result) =
   Printf.printf "%s: %d ok, %d errors\n" name (List.length r.Loadgen.latencies)
     r.Loadgen.errors;
@@ -62,10 +74,6 @@ let run_cmd choice mode clients requests seed =
   let server, port = server_of choice in
   let rng = Rng.create (seed + 1) in
   let request = request_of choice rng in
-  let fast_paxos =
-    { Paxos.heartbeat_period = Time.ms 200; election_timeout = Time.ms 600;
-      election_jitter = Time.ms 100; round_retry = Time.ms 200 }
-  in
   (match mode with
   | Native | Parrot ->
     let m = if mode = Native then Standalone.Native else Standalone.Parrot in
@@ -76,12 +84,7 @@ let run_cmd choice mode clients requests seed =
     Standalone.check_failures sa;
     report "un-replicated" (handle.Loadgen.collect ())
   | PaxosOnly | Crane | PlanII ->
-    let imode =
-      match mode with
-      | PaxosOnly -> Instance.Paxos_only
-      | PlanII -> Instance.No_bubbling
-      | Native | Parrot | Crane -> Instance.Full
-    in
+    let imode = imode_of mode in
     let cfg =
       { Instance.default_config with mode = imode; service_port = port; paxos = fast_paxos }
     in
@@ -130,6 +133,66 @@ let failover_cmd choice seed =
   | None -> print_endline "no primary!");
   0
 
+(* Run a workload with the flight recorder attached, export the trace
+   (chrome://tracing JSON or JSONL) and print the aggregated metrics.
+   Deterministic: the same seed yields a byte-identical trace file. *)
+let trace_cmd choice mode clients requests seed format out =
+  let server, port = server_of choice in
+  let rng = Rng.create (seed + 1) in
+  let request = request_of choice rng in
+  let tr = Trace.create () in
+  let run_workload target =
+    let handle = Loadgen.run ~clients ~requests ~request target in
+    Loadgen.drive ~timeout:(Time.sec 3600) target handle;
+    handle.Loadgen.collect ()
+  in
+  let result =
+    match mode with
+    | Native | Parrot ->
+      let m = if mode = Native then Standalone.Native else Standalone.Parrot in
+      let sa = Standalone.boot ~seed ~mode:m ~trace:tr ~server () in
+      let r = run_workload (Target.standalone sa ~port) in
+      Standalone.check_failures sa;
+      r
+    | PaxosOnly | Crane | PlanII ->
+      let cfg =
+        { Instance.default_config with mode = imode_of mode; service_port = port;
+          paxos = fast_paxos }
+      in
+      let cluster = Cluster.create ~seed ~cfg ~trace:tr ~server () in
+      Cluster.start cluster;
+      let r = run_workload (Target.cluster cluster ~port) in
+      Cluster.check_failures cluster;
+      r
+  in
+  report "traced run" result;
+  let payload =
+    match format with
+    | `Chrome -> Trace.to_chrome tr
+    | `Jsonl -> Trace.to_jsonl tr
+  in
+  (match open_out out with
+  | oc ->
+    output_string oc payload;
+    close_out oc
+  | exception Sys_error msg ->
+    Printf.eprintf "crane: cannot write trace: %s\n" msg;
+    exit 1);
+  Printf.printf "trace: %d events (%d dropped beyond limit) -> %s\n"
+    (Trace.length tr) (Trace.dropped tr) out;
+  let met = Metrics.of_trace tr in
+  Table.print ~title:"event counts" ~header:[ "event"; "count" ]
+    (List.map (fun (n, v) -> [ n; string_of_int v ]) (Metrics.counters met));
+  Table.print ~title:"virtual-time spans"
+    ~header:[ "span"; "count"; "total"; "p50"; "p90"; "p99" ]
+    (List.map
+       (fun (n, s) ->
+         [ n; string_of_int s.Metrics.count; Time.to_string s.Metrics.total;
+           Time.to_string s.Metrics.p50; Time.to_string s.Metrics.p90;
+           Time.to_string s.Metrics.p99 ])
+       (Metrics.summaries met));
+  0
+
 let servers_cmd () =
   print_endline "available servers:";
   List.iter (fun (n, _) -> Printf.printf "  %s\n" n) all_servers;
@@ -150,14 +213,27 @@ let clients_arg = Arg.(value & opt int 8 & info [ "clients"; "c" ] ~doc:"Concurr
 let requests_arg = Arg.(value & opt int 100 & info [ "requests"; "n" ] ~doc:"Total requests.")
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
 
+let format_arg =
+  let choice = Arg.enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ] in
+  Arg.(value & opt choice `Chrome
+       & info [ "format"; "f" ] ~doc:"Trace output format: chrome (trace_event JSON) or jsonl.")
+
+let out_arg =
+  Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~doc:"Trace output file.")
+
 let run_term = Term.(const run_cmd $ server_arg $ mode_arg $ clients_arg $ requests_arg $ seed_arg)
 let failover_term = Term.(const failover_cmd $ server_arg $ seed_arg)
 let servers_term = Term.(const servers_cmd $ const ())
+
+let trace_term =
+  Term.(const trace_cmd $ server_arg $ mode_arg $ clients_arg $ requests_arg
+        $ seed_arg $ format_arg $ out_arg)
 
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run a workload against a server in a chosen deployment mode.") run_term;
     Cmd.v (Cmd.info "failover" ~doc:"Kill the primary under load, recover from a checkpoint.") failover_term;
+    Cmd.v (Cmd.info "trace" ~doc:"Run a workload with the flight recorder on; export the trace and metrics.") trace_term;
     Cmd.v (Cmd.info "servers" ~doc:"List available servers and modes.") servers_term;
   ]
 

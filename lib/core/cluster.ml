@@ -29,8 +29,9 @@ type t = {
 let default_members = [ "replica1"; "replica2"; "replica3" ]
 
 let create ?(seed = 42) ?(members = default_members) ?(cfg = Instance.default_config)
-    ~server () =
+    ?trace ~server () =
   let eng = Engine.create () in
+  (match trace with Some tr -> Engine.set_trace eng tr | None -> ());
   let rng = Rng.create seed in
   let fabric = Fabric.create eng (Rng.split rng) in
   let world = Sock.world fabric in

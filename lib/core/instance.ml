@@ -84,6 +84,7 @@ let vhost_config (cfg : config) =
 let boot ~eng ~fabric ~world ~rng ~wal ~members ~node ~(cfg : config) ~(server : Api.server)
     ?(skip_upto = 0) ?preloaded_fs ?restore_state ?(as_primary = false) () =
   let group = Engine.new_group eng in
+  Crane_trace.Trace.register_group (Engine.trace eng) ~group ~node;
   Fabric.node_up fabric node;
   Engine.on_kill eng group (fun () ->
       Fabric.node_down fabric node;
@@ -109,10 +110,11 @@ let boot ~eng ~fabric ~world ~rng ~wal ~members ~node ~(cfg : config) ~(server :
     match cfg.mode with
     | Full | No_bubbling ->
       let dmt = Dmt.create ~turn_cost:cfg.turn_cost ~idle_period:cfg.idle_period eng in
+      Dmt.set_label dmt node;
       (Some dmt, Vhost.Clocked dmt)
     | Paxos_only -> (None, Vhost.Immediate)
   in
-  let vhost = Vhost.create eng ~cfg:(vhost_config cfg) ~clocking in
+  let vhost = Vhost.create ~node eng ~cfg:(vhost_config cfg) ~clocking in
   let proxy =
     Proxy.create ~eng ~node ~world ~port:cfg.service_port ~paxos ~vhost ~group
       ~skip_upto ()

@@ -6,9 +6,11 @@
 
 module Time = Crane_sim.Time
 module Engine = Crane_sim.Engine
+module Trace = Crane_trace.Trace
 
 type t = {
   eng : Engine.t;
+  node : string;  (** replica name for trace attribution *)
   q : Event.t Queue.t;
   mutable bubble_left : int;
       (* Remaining logical clocks of a bubble currently at the head
@@ -21,9 +23,10 @@ type t = {
   mutable queued_calls : int; (* client calls delivered but not yet consumed *)
 }
 
-let create eng =
+let create ?(node = "") eng =
   {
     eng;
+    node;
     q = Queue.create ();
     bubble_left = 0;
     last_nonempty = Engine.now eng;
@@ -35,6 +38,12 @@ let create eng =
 let append t ev =
   Queue.add ev t.q;
   t.last_nonempty <- Engine.now t.eng;
+  (let tr = Engine.trace t.eng in
+   if Trace.enabled tr then
+     Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+       ~node:t.node ~cat:"seq"
+       ~name:(if Event.is_bubble ev then "append_bubble" else "append_call")
+       [ ("depth", Trace.Int (Queue.length t.q)) ]);
   if Event.is_bubble ev then t.bubbles <- t.bubbles + 1
   else begin
     t.calls <- t.calls + 1;

@@ -17,6 +17,7 @@ module Time = Crane_sim.Time
 module Engine = Crane_sim.Engine
 module Sock = Crane_socket.Sock
 module Paxos = Crane_paxos.Paxos
+module Trace = Crane_trace.Trace
 
 type t = {
   eng : Engine.t;
@@ -36,9 +37,30 @@ type t = {
 
 let submit t ev =
   let accepted = Paxos.submit t.paxos (Event.encode ev) in
-  if accepted then
-    if Event.is_bubble ev then t.bubbles_proposed <- t.bubbles_proposed + 1
-    else t.calls_proposed <- t.calls_proposed + 1;
+  (if accepted then begin
+     if Event.is_bubble ev then t.bubbles_proposed <- t.bubbles_proposed + 1
+     else t.calls_proposed <- t.calls_proposed + 1;
+     let tr = Engine.trace t.eng in
+     if Trace.enabled tr then
+       let name, args =
+         match ev with
+         | Event.Time_bubble { nclock } ->
+           ("bubble_proposed", [ ("nclock", Trace.Int nclock) ])
+         | Event.Connect { conn; port } ->
+           ("call_proposed",
+            [ ("conn", Trace.Int conn); ("port", Trace.Int port);
+              ("kind", Trace.Str "connect") ])
+         | Event.Send { conn; payload } ->
+           ("call_proposed",
+            [ ("conn", Trace.Int conn);
+              ("bytes", Trace.Int (String.length payload));
+              ("kind", Trace.Str "send") ])
+         | Event.Close { conn } ->
+           ("call_proposed", [ ("conn", Trace.Int conn); ("kind", Trace.Str "close") ])
+       in
+       Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+         ~node:t.node ~cat:"proxy" ~name args
+   end);
   accepted
 
 (* Per-client pump: every chunk of bytes the client sends is one Send

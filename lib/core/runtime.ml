@@ -15,6 +15,7 @@ module Cores = Crane_sim.Cores
 module Sock = Crane_socket.Sock
 module Pthread = Crane_pthread.Pthread
 module Dmt = Crane_dmt.Dmt
+module Trace = Crane_trace.Trace
 
 type t = {
   api : Api.api;
@@ -40,10 +41,18 @@ end
 type blocking_wrapper = { wrap : 'a. (unit -> 'a) -> 'a }
 
 module Direct_socket = struct
-  let make ~world ~node ~output ~open_conns ~(wrap_blocking : blocking_wrapper) =
+  let make ~eng ~world ~node ~output ~open_conns ~(wrap_blocking : blocking_wrapper) =
     let module M = struct
       type listener = Sock.listener
       type conn = Sock.conn
+
+      (* Expose the connection count as a flight-recorder gauge: the
+         per-runtime counter of the un-replicated deployments. *)
+      let note_conns () =
+        let tr = Engine.trace eng in
+        if Trace.enabled tr then
+          Trace.counter tr ~ts:(Engine.now eng) ~tid:(Engine.self_tid eng)
+            ~node ~name:"open_conns" !open_conns
 
       let listen ~port = Sock.listen world ~node ~port
       let poll l = ignore (wrap_blocking.wrap (fun () -> Sock.wait_acceptable l))
@@ -51,6 +60,7 @@ module Direct_socket = struct
       let accept l =
         let c = wrap_blocking.wrap (fun () -> Sock.accept l) in
         incr open_conns;
+        note_conns ();
         c
 
       let recv c ~max = wrap_blocking.wrap (fun () -> Sock.recv c ~max)
@@ -60,7 +70,10 @@ module Direct_socket = struct
         try Sock.send c payload with Sock.Connection_closed -> ()
 
       let close c =
-        if Sock.is_open c then decr open_conns;
+        if Sock.is_open c then begin
+          decr open_conns;
+          note_conns ()
+        end;
         Sock.close c
 
       let conn_id = Sock.id
@@ -73,7 +86,7 @@ let native ?(cost = Pthread.default_cost) ~eng ~world ~node ~fs ~cores ~rng () =
   let output = Output_log.create () in
   let open_conns = ref 0 in
   let module S =
-    (val Direct_socket.make ~world ~node ~output ~open_conns
+    (val Direct_socket.make ~eng ~world ~node ~output ~open_conns
            ~wrap_blocking:{ wrap = (fun f -> f ()) })
   in
   let module M = struct
@@ -120,7 +133,7 @@ let parrot ?turn_cost ?idle_period ~eng ~world ~node ~fs ~cores () =
   let output = Output_log.create () in
   let open_conns = ref 0 in
   let module S =
-    (val Direct_socket.make ~world ~node ~output ~open_conns
+    (val Direct_socket.make ~eng ~world ~node ~output ~open_conns
            ~wrap_blocking:{ wrap = (fun f -> Dmt.block_external dmt f) })
   in
   let module M = struct

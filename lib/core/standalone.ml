@@ -23,8 +23,9 @@ type t = {
 }
 
 let boot ?(seed = 42) ?(node = "server") ?(cores = 24) ?turn_cost
-    ?pthread_cost ~mode ~(server : Api.server) () =
+    ?pthread_cost ?trace ~mode ~(server : Api.server) () =
   let eng = Engine.create () in
+  (match trace with Some tr -> Engine.set_trace eng tr | None -> ());
   let rng = Rng.create seed in
   let fabric = Fabric.create eng (Rng.split rng) in
   let world = Sock.world fabric in
@@ -39,6 +40,7 @@ let boot ?(seed = 42) ?(node = "server") ?(cores = 24) ?turn_cost
         None )
     | Parrot ->
       let rt, dmt = Runtime.parrot ?turn_cost ~eng ~world ~node ~fs ~cores:pool () in
+      Crane_dmt.Dmt.set_label dmt node;
       (rt, Some dmt)
   in
   let handle = server.Api.boot runtime.Runtime.api in

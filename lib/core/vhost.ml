@@ -20,6 +20,7 @@ module Time = Crane_sim.Time
 module Engine = Crane_sim.Engine
 module Dmt = Crane_dmt.Dmt
 module Bytestream = Crane_socket.Bytestream
+module Trace = Crane_trace.Trace
 
 type config = {
   wtimeout : Time.t;  (** empty-sequence duration before requesting a bubble (default 100 us) *)
@@ -54,6 +55,7 @@ type clocking = Clocked of Dmt.t | Immediate
 type t = {
   eng : Engine.t;
   cfg : config;
+  node : string;  (** replica name for trace attribution *)
   clocking : clocking;
   seq : Paxos_seq.t;
   conns : (int, vconn) Hashtbl.t;
@@ -100,12 +102,26 @@ let signal_one t obj =
     go ()
   | Immediate, Dobj _ -> assert false
 
+(* Admission bookkeeping: count, and expose the running total as a trace
+   gauge so admission rate is visible on the replica's timeline. *)
+let note_admit t =
+  t.admitted <- t.admitted + 1;
+  let tr = Engine.trace t.eng in
+  if Trace.enabled tr then
+    Trace.counter tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+      ~node:t.node ~name:"admitted" t.admitted
+
 (* The gate — paper Figure 10, [check_add_timebubble].  Runs with the DMT
    turn held (from lock wrappers and the idle thread). *)
 let gate t =
   if t.cfg.bubbling && Paxos_seq.is_empty t.seq then begin
     let t0 = Engine.now t.eng in
     t.gate_blocks <- t.gate_blocks + 1;
+    let tr = Engine.trace t.eng in
+    let traced = Trace.enabled tr in
+    if traced then
+      Trace.span_begin tr ~ts:t0 ~tid:(Engine.self_tid t.eng) ~node:t.node
+        ~cat:"gate" ~name:"block" [];
     while Paxos_seq.is_empty t.seq && not t.stopped do
       let now = Engine.now t.eng in
       if
@@ -117,6 +133,9 @@ let gate t =
       end;
       Engine.sleep t.eng t.cfg.usleep
     done;
+    if traced then
+      Trace.span_end tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+        ~node:t.node ~cat:"gate" ~name:"block" [];
     t.gate_block_time <- t.gate_block_time + (Engine.now t.eng - t0)
   end;
   (* A bubble promises Nclock *synchronizations* (every turn handoff
@@ -149,10 +168,20 @@ let gate t =
       let chunk = t.cfg.usleep * 10 in
       Engine.sleep t.eng chunk;
       let per_cycle = max 1 (chunk / Time.us 1) in
+      (let tr = Engine.trace t.eng in
+       if Trace.enabled tr then
+         Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+           ~node:t.node ~cat:"gate" ~name:"bubble_drain"
+           [ ("clocks", Trace.Int per_cycle); ("bulk", Trace.Int 1) ]);
       Paxos_seq.drain_bubble_upto t.seq per_cycle;
       Dmt.advance_clock dmt (per_cycle - 1)
     | Clocked _ ->
       t.delta_drained <- t.delta_drained + 1;
+      (let tr = Engine.trace t.eng in
+       if Trace.enabled tr then
+         Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+           ~node:t.node ~cat:"gate" ~name:"bubble_drain"
+           [ ("clocks", Trace.Int tick_delta); ("bulk", Trace.Int 0) ]);
       Paxos_seq.drain_bubble_upto t.seq tick_delta
     | Immediate -> Paxos_seq.decrement_bubble t.seq)
   | Some (Event.Connect { port; _ }) -> (
@@ -167,13 +196,14 @@ let gate t =
          discard, or the sequence would jam. *)
       Paxos_seq.drop_head t.seq)
 
-let create eng ~cfg ~clocking =
+let create ?(node = "") eng ~cfg ~clocking =
   let t =
     {
       eng;
       cfg;
+      node;
       clocking;
-      seq = Paxos_seq.create eng;
+      seq = Paxos_seq.create ~node eng;
       conns = Hashtbl.create 64;
       listeners = Hashtbl.create 4;
       output = Output_log.create ();
@@ -222,7 +252,7 @@ let deliver t ev =
       | Some (Event.Connect { conn; port }) ->
         Paxos_seq.drop_head t.seq;
         let (_ : vconn) = make_vconn t conn in
-        t.admitted <- t.admitted + 1;
+        note_admit t;
         (match Hashtbl.find_opt t.listeners port with
         | Some l ->
           Queue.add conn l.pending;
@@ -234,7 +264,7 @@ let deliver t ev =
         (match Hashtbl.find_opt t.conns conn with
         | Some c when not c.vclosed ->
           Bytestream.push c.buf payload;
-          t.admitted <- t.admitted + 1;
+          note_admit t;
           signal_one t c.cobj
         | Some _ | None -> ());
         drain ()
@@ -294,7 +324,7 @@ let accept t l =
       match Paxos_seq.head t.seq with
       | Some (Event.Connect { conn; _ }) ->
         Paxos_seq.drop_head t.seq;
-        t.admitted <- t.admitted + 1;
+        note_admit t;
         make_vconn t conn
       | Some _ | None -> assert false
     in
@@ -315,7 +345,7 @@ let rec consume_admitted t (c : vconn) =
   match Paxos_seq.head t.seq with
   | Some (Event.Send { conn; payload }) when conn = c.vid ->
     Paxos_seq.drop_head t.seq;
-    t.admitted <- t.admitted + 1;
+    note_admit t;
     Bytestream.push c.buf payload;
     consume_admitted t c
   | Some (Event.Close { conn }) when conn = c.vid ->

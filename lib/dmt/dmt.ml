@@ -1,5 +1,6 @@
 module Time = Crane_sim.Time
 module Engine = Crane_sim.Engine
+module Trace = Crane_trace.Trace
 
 type dthread = {
   dtid : int;
@@ -22,12 +23,14 @@ type t = {
   mutable tick_hooks : (int * (unit -> unit)) list;
   mutable switches : int;
   mutable stopped : bool;
+  mutable label : string; (* replica name for trace attribution *)
 }
 
 let engine t = t.eng
 let clock t = t.clock
 let context_switches t = t.switches
 let set_gate t gate = t.gate <- Some gate
+let set_label t node = t.label <- node
 let run_queue_length t = List.length t.runq
 let run_queue_names t = List.map (fun th -> th.dname) t.runq
 let new_obj t =
@@ -53,9 +56,20 @@ let wake_head t =
       ignore (wake ())
     | None -> ())
 
+(* Parking is where PARROT's serialization cost lives: the span from
+   park to resumption is the round-robin turn wait the paper's overhead
+   analysis attributes to DMT. *)
 let park t th =
   t.switches <- t.switches + 1;
+  let tr = Engine.trace t.eng in
+  let traced = Trace.enabled tr in
+  if traced then
+    Trace.span_begin tr ~ts:(Engine.now t.eng) ~tid:th.dtid ~node:t.label
+      ~cat:"dmt" ~name:"turn_wait" [];
   Engine.suspend t.eng (fun wake -> th.parked <- Some wake);
+  if traced then
+    Trace.span_end tr ~ts:(Engine.now t.eng) ~tid:th.dtid ~node:t.label
+      ~cat:"dmt" ~name:"turn_wait" [];
   assert (is_head t th)
 
 let get_turn t =
@@ -231,6 +245,7 @@ let create ?(turn_cost = Time.ns 150) ?(idle_period = Time.us 10) eng =
       tick_hooks = [];
       switches = 0;
       stopped = false;
+      label = "";
     }
   in
   spawn t ~name:"dmt-idle" (fun () -> idle_loop t);

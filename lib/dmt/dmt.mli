@@ -45,6 +45,10 @@ val context_switches : t -> int
 (** Times a thread parked waiting for its turn (the PARROT-side number in
     the MediaTomb context-switch comparison of §7.3). *)
 
+val set_label : t -> string -> unit
+(** Replica name used to attribute this scheduler's trace events (DMT
+    [turn_wait] spans) to a process in the flight recorder. *)
+
 val set_gate : t -> (unit -> unit) -> unit
 (** Install CRANE's [check_add_timebubble] hook (Figure 10).  It runs
     with the turn held: in every {!Mutex.lock} and on every idle-thread

@@ -3,6 +3,7 @@ module Engine = Crane_sim.Engine
 module Rng = Crane_sim.Rng
 module Fabric = Crane_net.Fabric
 module Wal = Crane_storage.Wal
+module Trace = Crane_trace.Trace
 
 type config = {
   heartbeat_period : Time.t;
@@ -98,6 +99,8 @@ let tell t n msg = Fabric.send t.fabric ~src:(ep t.self) ~dst:(ep n) msg
 
 let persist t record k = Wal.append_async t.wal (Marshal.to_string (record : wal_record) []) k
 
+let trace t = Engine.trace t.eng
+
 (* Deliver committed values to the application, in order. *)
 let rec apply t =
   if t.applied < t.committed then begin
@@ -106,6 +109,16 @@ let rec apply t =
     | Some (_, value) ->
       t.applied <- t.applied + 1;
       t.decisions <- t.decisions + 1;
+      let tr = trace t in
+      if Trace.enabled tr then begin
+        let ts = Engine.now t.eng and tid = Engine.self_tid t.eng in
+        Trace.instant tr ~ts ~tid ~node:t.self ~cat:"paxos" ~name:"commit"
+          [ ("index", Trace.Int t.applied) ];
+        (* Close the proposer-side decide span (open only where this
+           replica proposed the entry). *)
+        Trace.async_end tr ~ts ~tid ~id:t.applied ~node:t.self ~cat:"paxos"
+          ~name:"decide" []
+      end;
       (match t.apply_cb with
       | Some cb -> cb ~index:t.applied value
       | None -> ());
@@ -139,6 +152,11 @@ let advance_commits t =
     let next = t.committed + 1 in
     match Hashtbl.find_opt t.acks next with
     | Some l when List.length l >= majority t ->
+      (let tr = trace t in
+       if Trace.enabled tr then
+         Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+           ~node:t.self ~cat:"paxos" ~name:"quorum_ack"
+           [ ("index", Trace.Int next); ("acks", Trace.Int (List.length l)) ]);
       set_committed t next;
       progressed := true
     | Some _ | None -> continue_ := false
@@ -151,6 +169,14 @@ let submit t value =
     let index = t.last_index + 1 in
     store_entry t ~index ~eview:t.view ~value;
     let aview = t.view in
+    let tr = trace t in
+    if Trace.enabled tr then begin
+      let ts = Engine.now t.eng and tid = Engine.self_tid t.eng in
+      Trace.instant tr ~ts ~tid ~node:t.self ~cat:"paxos" ~name:"propose"
+        [ ("index", Trace.Int index); ("view", Trace.Int aview) ];
+      Trace.async_begin tr ~ts ~tid ~id:index ~node:t.self ~cat:"paxos"
+        ~name:"decide" [ ("index", Trace.Int index) ]
+    end;
     cast t (Accept { aview; index; value; committed = t.committed });
     persist t (Wal_accept (aview, index, value)) (fun () ->
         if t.view = aview && is_primary t then begin
@@ -206,6 +232,11 @@ let become_backup t ~nview ~primary =
 let rec heartbeat_loop t =
   Engine.after t.eng ~group:t.group t.cfg.heartbeat_period (fun () ->
       if is_primary t then begin
+        let tr = trace t in
+        if Trace.enabled tr then
+          Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+            ~node:t.self ~cat:"paxos" ~name:"heartbeat"
+            [ ("view", Trace.Int t.view); ("committed", Trace.Int t.committed) ];
         cast t (Heartbeat { hview = t.view; committed = t.committed });
         heartbeat_loop t
       end)
@@ -218,6 +249,12 @@ let become_primary t election =
   t.election <- None;
   t.view_changes <- t.view_changes + 1;
   t.last_election_duration <- Some (Engine.now t.eng - election.started_at);
+  (let tr = trace t in
+   if Trace.enabled tr then
+     Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+       ~node:t.self ~cat:"paxos" ~name:"view_change"
+       [ ("view", Trace.Int t.view);
+         ("election_ns", Trace.Int (Engine.now t.eng - election.started_at)) ]);
   (* Step 3: announce. *)
   cast t (New_view { nview = t.view; entries; committed });
   if committed > t.committed then begin
@@ -254,6 +291,11 @@ let rec start_election t =
       }
     in
     t.election <- Some election;
+    (let tr = trace t in
+     if Trace.enabled tr then
+       Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+         ~node:t.self ~cat:"paxos" ~name:"election_start"
+         [ ("view", Trace.Int nview) ]);
     cast t (View_change { nview; cand_committed = t.committed });
     (* Single-node "cluster": immediately win. *)
     check_election_progress t election;

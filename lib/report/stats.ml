@@ -1,21 +1,34 @@
-(** Sample statistics for benchmark results (virtual-time latencies). *)
+(** Sample statistics for benchmark results (virtual-time latencies).
 
-let sorted samples = List.sort compare samples
+    Each entry point sorts its input once into an array and indexes into
+    it (the previous list-based version re-sorted and walked [List.nth]
+    per call: O(n^2) on large samples). *)
+
+let sorted_array samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  a
+
+let index_of_pct n p = int_of_float (Float.of_int (n - 1) *. p)
 
 let median samples =
-  match sorted samples with
-  | [] -> 0
-  | s ->
-    let n = List.length s in
-    List.nth s (n / 2)
+  match sorted_array samples with
+  | [||] -> 0
+  | a -> a.(Array.length a / 2)
 
 let percentile p samples =
-  match sorted samples with
-  | [] -> 0
-  | s ->
-    let n = List.length s in
-    let idx = int_of_float (Float.of_int (n - 1) *. p) in
-    List.nth s idx
+  match sorted_array samples with
+  | [||] -> 0
+  | a -> a.(index_of_pct (Array.length a) p)
+
+(** All requested percentiles from a single sort: [percentiles ps s]
+    returns one value per element of [ps] (all 0 on an empty sample). *)
+let percentiles ps samples =
+  match sorted_array samples with
+  | [||] -> List.map (fun _ -> 0) ps
+  | a ->
+    let n = Array.length a in
+    List.map (fun p -> a.(index_of_pct n p)) ps
 
 let mean samples =
   match samples with
@@ -23,9 +36,9 @@ let mean samples =
   | s -> float_of_int (List.fold_left ( + ) 0 s) /. float_of_int (List.length s)
 
 let min_max samples =
-  match sorted samples with
-  | [] -> (0, 0)
-  | s -> (List.hd s, List.nth s (List.length s - 1))
+  match sorted_array samples with
+  | [||] -> (0, 0)
+  | a -> (a.(0), a.(Array.length a - 1))
 
 (** Normalized performance as the paper plots it: baseline median
     response time / system median response time, in percent (100 = equal,

@@ -1,3 +1,5 @@
+module Trace = Crane_trace.Trace
+
 type group = int
 
 type thread = { tid : int; name : string; tgroup : group option }
@@ -12,6 +14,7 @@ type t = {
   dead_groups : (group, unit) Hashtbl.t;
   kill_hooks : (group, (unit -> unit) list ref) Hashtbl.t;
   mutable failed : (string * exn) list;
+  mutable trace : Trace.t;
 }
 
 type 'a waker = 'a -> bool
@@ -29,9 +32,15 @@ let create () =
     dead_groups = Hashtbl.create 16;
     kill_hooks = Hashtbl.create 16;
     failed = [];
+    trace = Trace.null;
   }
 
 let now t = t.clock
+
+let trace t = t.trace
+let set_trace t tr = t.trace <- tr
+
+let gid = function Some g -> g | None -> -1
 
 let new_group t =
   let g = t.next_group in
@@ -47,6 +56,9 @@ let on_kill t g hook =
 
 let kill_group t g =
   if group_alive t g then begin
+    if Trace.enabled t.trace then
+      Trace.instant t.trace ~ts:t.clock ~tid:(-1) ~group:g ~cat:"sim"
+        ~name:"group_kill" [ ("group", Trace.Int g) ];
     Hashtbl.add t.dead_groups g ();
     match Hashtbl.find_opt t.kill_hooks g with
     | None -> ()
@@ -89,6 +101,9 @@ let handler t th =
         | Suspend f ->
           Some
             (fun (k : (a, unit) continuation) ->
+              if Trace.enabled t.trace then
+                Trace.span_begin t.trace ~ts:t.clock ~tid:th.tid
+                  ~group:(gid th.tgroup) ~cat:"sim" ~name:"blocked" [];
               let fired = ref false in
               let waker v =
                 if !fired || not (alive t th.tgroup) then false
@@ -96,6 +111,9 @@ let handler t th =
                   fired := true;
                   schedule t t.clock (fun () ->
                       if alive t th.tgroup then begin
+                        if Trace.enabled t.trace then
+                          Trace.span_end t.trace ~ts:t.clock ~tid:th.tid
+                            ~group:(gid th.tgroup) ~cat:"sim" ~name:"blocked" [];
                         let saved = t.current in
                         t.current <- Some th;
                         continue k v;
@@ -117,6 +135,9 @@ let spawn_with_tid t ?group ~name body =
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
   let th = { tid; name; tgroup = group } in
+  if Trace.enabled t.trace then
+    Trace.instant t.trace ~ts:t.clock ~tid ~group:(gid group) ~cat:"sim"
+      ~name:"thread_spawn" [ ("thread", Trace.Str name) ];
   schedule t t.clock (fun () ->
       if alive t th.tgroup then begin
         let saved = t.current in

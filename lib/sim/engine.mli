@@ -36,6 +36,17 @@ val create : unit -> t
 val now : t -> Time.t
 (** Current virtual time. *)
 
+val trace : t -> Crane_trace.Trace.t
+(** The engine's flight recorder.  Defaults to the disabled
+    {!Crane_trace.Trace.null} sink; every layer of the stack reaches its
+    recorder through the engine, so attaching one sink traces a whole
+    simulated cluster. *)
+
+val set_trace : t -> Crane_trace.Trace.t -> unit
+(** Attach a flight recorder.  Engine-level events are: [thread_spawn]
+    and [group_kill] instants and [blocked] suspend/resume spans, all in
+    category "sim". *)
+
 val new_group : t -> group
 
 val kill_group : t -> group -> unit

@@ -1,0 +1,47 @@
+(** Counters and virtual-time histograms aggregated from trace events. *)
+
+type summary = {
+  count : int;
+  total : int;  (** summed virtual ns across samples *)
+  mean : float;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max : int;
+}
+
+type t
+
+val create : ?per_node:bool -> unit -> t
+(** [per_node] prefixes every key with "node/" so histograms and
+    counters stay attributable to one replica. *)
+
+val attach : t -> Trace.t -> unit
+(** Stream events from a live recorder into this aggregation (works with
+    a non-retaining trace: constant memory). *)
+
+val of_trace : ?per_node:bool -> Trace.t -> t
+(** Fold a retained trace into a fresh aggregation. *)
+
+val incr : t -> ?by:int -> string -> unit
+val observe : t -> string -> int -> unit
+(** Direct-use API (no trace required). *)
+
+val counter_value : t -> string -> int
+(** Occurrences of instants named "cat.name" (0 if never seen). *)
+
+val gauge_value : t -> string -> int option
+(** Latest sampled value of a [Counter]-phase gauge. *)
+
+val summary : t -> string -> summary option
+(** Percentile summary of the histogram "cat.name" (spans pair
+    Begin/End per thread, Async_begin/Async_end per id). *)
+
+val total : t -> string -> int
+(** Summed duration of a histogram's samples, 0 if absent. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val gauges : t -> (string * int) list
+val summaries : t -> (string * summary) list

@@ -1,1 +1,1 @@
-let () = Alcotest.run "crane" (Test_sim.suite @ Test_net.suite @ Test_threads.suite @ Test_paxos.suite @ Test_fs.suite @ Test_crane.suite @ Test_apps.suite @ Test_units.suite)
+let () = Alcotest.run "crane" (Test_sim.suite @ Test_net.suite @ Test_threads.suite @ Test_paxos.suite @ Test_fs.suite @ Test_crane.suite @ Test_apps.suite @ Test_units.suite @ Test_trace.suite)
