@@ -193,6 +193,55 @@ let trace_cmd choice mode clients requests seed format out =
        (Metrics.summaries met));
   0
 
+(* Run the deterministic chaos suite (or one scenario): inject faults
+   under load, check SMR invariants, print one report per scenario.
+   Exits nonzero on any invariant violation.  The same seed + scenario
+   always prints a byte-identical report. *)
+let chaos_cmd scenario seed list =
+  let module Chaos = Crane_chaos.Chaos in
+  if list then begin
+    print_endline "built-in chaos scenarios:";
+    List.iter
+      (fun s -> Printf.printf "  %-18s %s\n" s.Chaos.name s.Chaos.about)
+      Chaos.scenarios;
+    0
+  end
+  else
+    let to_run =
+      match scenario with
+      | None -> Chaos.scenarios
+      | Some name -> (
+        match Chaos.find_scenario name with
+        | Some s -> [ s ]
+        | None ->
+          Printf.eprintf "crane: unknown scenario %s (try --list)\n" name;
+          exit 2)
+    in
+    let reports =
+      List.map
+        (fun s ->
+          let r = Chaos.run ~seed s in
+          print_string (Chaos.render_report r);
+          print_newline ();
+          r)
+        to_run
+    in
+    let failed = List.filter (fun r -> not (Chaos.passed r)) reports in
+    Table.print ~title:"chaos suite summary" ~header:[ "scenario"; "verdict" ]
+      (List.map
+         (fun r ->
+           [ r.Chaos.r_scenario; (if Chaos.passed r then "PASS" else "FAIL") ])
+         reports);
+    if failed = [] then begin
+      Printf.printf "\nall %d scenarios passed (seed %d)\n" (List.length reports) seed;
+      0
+    end
+    else begin
+      Printf.printf "\n%d of %d scenarios FAILED (seed %d)\n" (List.length failed)
+        (List.length reports) seed;
+      1
+    end
+
 let servers_cmd () =
   print_endline "available servers:";
   List.iter (fun (n, _) -> Printf.printf "  %s\n" n) all_servers;
@@ -221,9 +270,18 @@ let format_arg =
 let out_arg =
   Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~doc:"Trace output file.")
 
+let scenario_arg =
+  Arg.(value & opt (some string) None
+       & info [ "scenario" ] ~doc:"Chaos scenario to run (default: the whole suite).")
+
+let list_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List built-in chaos scenarios and exit.")
+
 let run_term = Term.(const run_cmd $ server_arg $ mode_arg $ clients_arg $ requests_arg $ seed_arg)
 let failover_term = Term.(const failover_cmd $ server_arg $ seed_arg)
 let servers_term = Term.(const servers_cmd $ const ())
+
+let chaos_term = Term.(const chaos_cmd $ scenario_arg $ seed_arg $ list_arg)
 
 let trace_term =
   Term.(const trace_cmd $ server_arg $ mode_arg $ clients_arg $ requests_arg
@@ -233,6 +291,7 @@ let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run a workload against a server in a chosen deployment mode.") run_term;
     Cmd.v (Cmd.info "failover" ~doc:"Kill the primary under load, recover from a checkpoint.") failover_term;
+    Cmd.v (Cmd.info "chaos" ~doc:"Run the deterministic fault-injection suite and check SMR invariants.") chaos_term;
     Cmd.v (Cmd.info "trace" ~doc:"Run a workload with the flight recorder on; export the trace and metrics.") trace_term;
     Cmd.v (Cmd.info "servers" ~doc:"List available servers and modes.") servers_term;
   ]

@@ -4,6 +4,11 @@
    serving, then restart the old primary from a backup's checkpoint and
    watch it re-join as a backup on the next heartbeat (paper: 0.36 s).
 
+   The example doubles as a check: it exits nonzero unless the restarted
+   replica re-joins, every replica converges to the same state, the
+   restarted node's output log is a clean suffix of a survivor's (zero
+   divergence), and the client-visible error count stays bounded.
+
    Run with: dune exec examples/failover.exe *)
 
 module Time = Crane_sim.Time
@@ -11,6 +16,7 @@ module Engine = Crane_sim.Engine
 module Paxos = Crane_paxos.Paxos
 module Instance = Crane_core.Instance
 module Cluster = Crane_core.Cluster
+module Output_log = Crane_core.Output_log
 module Target = Crane_workload.Target
 module Clients = Crane_workload.Clients
 module Loadgen = Crane_workload.Loadgen
@@ -27,6 +33,9 @@ let mongoose =
       }
     ()
 
+let failures = ref []
+let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt
+
 let () =
   let cfg =
     { Instance.default_config with cores = 8; checkpoint_period = Time.sec 2 }
@@ -35,8 +44,12 @@ let () =
   Cluster.start ~checkpoints:true cluster;
   let eng = Cluster.engine cluster in
   let target = Target.cluster cluster ~port:80 in
+  (* Retries make this measure the cluster's availability, not client
+     fragility: a request cut off by the failover retries against the new
+     primary with deterministic backoff. *)
   let handle =
-    Loadgen.run ~name:"ab" ~think:(Time.ms 60) ~clients:4 ~requests:600
+    Loadgen.run ~name:"ab" ~think:(Time.ms 60) ~retries:6
+      ~retry_backoff:(Time.ms 100) ~clients:4 ~requests:600
       ~request:Clients.apachebench target
   in
   (* Let a checkpoint happen, then kill the primary. *)
@@ -44,7 +57,7 @@ let () =
       Printf.printf "[%6.3fs] killing primary replica1\n"
         (Time.to_float_sec (Engine.now eng));
       Cluster.kill cluster "replica1");
-  (* Restart it two (virtual) seconds later from the latest checkpoint. *)
+  (* Restart it seven (virtual) seconds later from the latest checkpoint. *)
   Engine.at eng (Time.sec 12) (fun () ->
       Printf.printf "[%6.3fs] restarting replica1 from checkpoint\n"
         (Time.to_float_sec (Engine.now eng));
@@ -55,11 +68,11 @@ let () =
   Cluster.run ~until:(Engine.now eng + Time.sec 10) cluster;
   Cluster.check_failures cluster;
   let r = handle.Loadgen.collect () in
-  Printf.printf "\nserved %d requests, %d errors, across the failover\n"
-    (List.length r.Loadgen.latencies) r.Loadgen.errors;
+  Printf.printf "\nserved %d requests, %d errors, %d retries across the failover\n"
+    (List.length r.Loadgen.latencies) r.Loadgen.errors r.Loadgen.retries;
   (match Cluster.primary_node cluster with
   | Some n -> Printf.printf "new primary: %s\n" n
-  | None -> print_endline "no primary!");
+  | None -> fail "no primary after recovery");
   List.iter
     (fun (node, inst) ->
       let p = inst.Instance.paxos in
@@ -70,12 +83,39 @@ let () =
         | Some d -> Printf.sprintf "  (won election in %s)" (Time.to_string d)
         | None -> ""))
     (Cluster.instances cluster);
-  (* The restarted replica must have converged to the same state. *)
-  match
-    List.map (fun (_, i) -> i.Instance.handle.Crane_core.Api.state_of ()) (Cluster.instances cluster)
-  with
+  (* The old primary must be back as a live cluster member. *)
+  let live = List.map fst (Cluster.instances cluster) in
+  if not (List.mem "replica1" live) then
+    fail "replica1 did not re-join (live: %s)" (String.concat "," live);
+  if List.length live <> 3 then fail "expected 3 live replicas, got %d" (List.length live);
+  (* With retries in play a handful of hard errors would mean requests
+     failed even after the failover window — bound them at zero. *)
+  if r.Loadgen.errors > 0 then fail "%d requests failed after retries" r.Loadgen.errors;
+  (* All replicas converged to the same state... *)
+  (match
+     List.map
+       (fun (_, i) -> i.Instance.handle.Crane_core.Api.state_of ())
+       (Cluster.instances cluster)
+   with
   | s1 :: rest when List.for_all (fun s -> s = s1) rest ->
     Printf.printf "all replicas converged to state %S\n" s1
-  | states ->
-    Printf.printf "ERROR: replica states diverged: %s\n" (String.concat " | " states);
+  | states -> fail "replica states diverged: %s" (String.concat " | " states));
+  (* ...and the restarted replica's output log — everything its server
+     sent since it came back — is a suffix of a continuously-live
+     replica's log: zero divergence (paper §7.2). *)
+  (match
+     (Cluster.instance cluster "replica1", Cluster.instance cluster "replica2")
+   with
+  | Some r1, Some r2 ->
+    let o1 = Instance.output r1 and o2 = Instance.output r2 in
+    if Output_log.is_suffix ~of_:o2 o1 then
+      Printf.printf "output logs: replica1's %d entries match replica2's tail (0 divergent)\n"
+        (Output_log.length o1)
+    else
+      fail "restarted replica's output log diverges from replica2's"
+  | _ -> fail "replica1/replica2 missing for the output-log comparison");
+  match !failures with
+  | [] -> print_endline "failover example: all checks passed"
+  | msgs ->
+    List.iter (fun m -> Printf.printf "ERROR: %s\n" m) (List.rev msgs);
     exit 1

@@ -1,0 +1,666 @@
+(** Deterministic chaos harness: a Jepsen-style nemesis that runs inside
+    the virtual-time simulator.
+
+    A scenario is a fault schedule — timed steps or a seeded probabilistic
+    stream — injected into a live CRANE cluster while a ledger workload
+    runs against it.  Because every source of nondeterminism (fabric
+    jitter, election jitter, nemesis choices, client think times) draws
+    from the same seeded RNG tree and fires off engine timers, a run is a
+    pure function of its seed: two runs with the same seed and scenario
+    produce byte-identical reports.
+
+    While the schedule plays out, an invariant sampler checks safety
+    continuously (single primary per view, committed-prefix agreement);
+    after the schedule the driver heals the network (it does {e not}
+    restart crashed replicas — the cluster must cope with what survived),
+    probes for liveness, and renders a verdict per invariant. *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Rng = Crane_sim.Rng
+module Fabric = Crane_net.Fabric
+module Paxos = Crane_paxos.Paxos
+module Cluster = Crane_core.Cluster
+module Instance = Crane_core.Instance
+module Api = Crane_core.Api
+module Output_log = Crane_core.Output_log
+module Target = Crane_workload.Target
+module Loadgen = Crane_workload.Loadgen
+module Trace = Crane_trace.Trace
+module Table = Crane_report.Table
+
+(* ------------------------------------------------------------------ *)
+(* Scenario DSL                                                        *)
+
+type fault =
+  | Crash_primary of { torn_wal : bool }
+      (** SIGKILL the current primary; with [torn_wal] the crash lands
+          mid-WAL-append, leaving a torn tail for recovery to discard. *)
+  | Crash_backup of { torn_wal : bool }  (** kill a random live backup *)
+  | Crash_random  (** kill a random live replica (quorum-guarded) *)
+  | Restart_one  (** restart the oldest crashed replica from a checkpoint *)
+  | Partition_primary  (** symmetric: isolate the primary from everyone *)
+  | Partition_oneway_primary
+      (** asymmetric: block traffic {e towards} the primary only; backups
+          still hear its heartbeats, so only primary abdication (on lost
+          quorum contact) restores progress *)
+  | Partition_random  (** symmetric: isolate a random live replica *)
+  | Heal  (** remove all partitions *)
+  | Loss_window of { loss : float; duration : Time.t }
+  | Latency_spike of { base : Time.t; jitter : Time.t; duration : Time.t }
+
+let fault_name = function
+  | Crash_primary { torn_wal } -> if torn_wal then "crash_primary_torn" else "crash_primary"
+  | Crash_backup { torn_wal } -> if torn_wal then "crash_backup_torn" else "crash_backup"
+  | Crash_random -> "crash_random"
+  | Restart_one -> "restart"
+  | Partition_primary -> "partition_primary"
+  | Partition_oneway_primary -> "partition_oneway_primary"
+  | Partition_random -> "partition_random"
+  | Heal -> "heal"
+  | Loss_window _ -> "loss_window"
+  | Latency_spike _ -> "latency_spike"
+
+type step = { at : Time.t; fault : fault }
+
+type schedule =
+  | Timed of step list
+  | Probabilistic of { faults : int; start : Time.t; stop : Time.t }
+      (** [faults] nemesis actions at seeded-random times in [start,stop],
+          drawn from a weighted fault pool *)
+
+type scenario = {
+  name : string;
+  about : string;
+  schedule : schedule;
+  duration : Time.t;  (** schedule horizon: faults all fire before this *)
+  settle : Time.t;  (** quiet period after healing, before final checks *)
+  clients : int;
+  requests : int;
+  think : Time.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+
+type election = {
+  e_at : Time.t;
+  winner : string;
+  e_view : int;
+  e_duration : Time.t option;  (** None for the boot-time primary *)
+}
+
+type report = {
+  r_scenario : string;
+  r_seed : int;
+  injected : (Time.t * string) list;
+  elections : election list;
+  r_abdications : int;
+  r_catchup_installed : int;  (** log entries refilled via catch-up *)
+  r_torn_discarded : int;
+  r_acked : int;
+  r_ok : int;
+  r_errors : int;
+  r_retries : int;
+  probe_ok : int;
+  probe_errors : int;
+  final_primary : string option;
+  invariants : (string * string option) list;  (** name, None = pass *)
+}
+
+let passed r = List.for_all (fun (_, verdict) -> verdict = None) r.invariants
+
+let render_report r =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "=== chaos scenario %-28s seed=%d ===" r.r_scenario r.r_seed;
+  Buffer.add_string b
+    (Table.render ~title:"faults injected" ~header:[ "virtual time"; "fault" ]
+       (List.map (fun (t, f) -> [ Time.to_string t; f ]) r.injected));
+  Buffer.add_string b "\n";
+  Buffer.add_string b
+    (Table.render ~title:"elections" ~header:[ "virtual time"; "winner"; "view"; "duration" ]
+       (List.map
+          (fun e ->
+            [ Time.to_string e.e_at; e.winner; string_of_int e.e_view;
+              (match e.e_duration with
+              | Some d -> Time.to_string d
+              | None -> "boot") ])
+          r.elections));
+  Buffer.add_string b "\n";
+  Buffer.add_string b
+    (Table.render ~title:"workload"
+       ~header:[ "ok"; "retries"; "errors"; "acked"; "probe ok"; "probe errors" ]
+       [ [ string_of_int r.r_ok; string_of_int r.r_retries; string_of_int r.r_errors;
+           string_of_int r.r_acked; string_of_int r.probe_ok;
+           string_of_int r.probe_errors ] ]);
+  Buffer.add_string b "\n";
+  line "abdications:        %d" r.r_abdications;
+  line "catch-up installed: %d entries" r.r_catchup_installed;
+  line "torn WAL discarded: %d records" r.r_torn_discarded;
+  line "final primary:      %s" (Option.value r.final_primary ~default:"(none)");
+  Buffer.add_string b
+    (Table.render ~title:"invariants" ~header:[ "invariant"; "verdict" ]
+       (List.map
+          (fun (name, verdict) ->
+            [ name;
+              (match verdict with None -> "ok" | Some detail -> "VIOLATED: " ^ detail) ])
+          r.invariants));
+  Buffer.add_string b "\n";
+  line "verdict: %s" (if passed r then "PASS" else "FAIL");
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Driver state                                                        *)
+
+type driver = {
+  cluster : Cluster.t;
+  eng : Engine.t;
+  nemesis : Rng.t;
+  mutable crashed : string list;  (** oldest first *)
+  ever_crashed : (string, unit) Hashtbl.t;
+  mutable injected : (Time.t * string) list;  (** newest first *)
+  mutable violations : (string * string) list;  (** newest first *)
+  mutable elections : election list;  (** newest first *)
+  seen_views : (string * int, unit) Hashtbl.t;
+  reference_log : (int, string) Hashtbl.t;  (** index -> first-seen value *)
+  watermarks : (string, int) Hashtbl.t;
+  mutable sampler_on : bool;
+}
+
+let majority members = (List.length members / 2) + 1
+
+let live_nodes d = List.map fst (Cluster.instances d.cluster)
+
+let note d fault detail =
+  let now = Engine.now d.eng in
+  let what = if detail = "" then fault else fault ^ " " ^ detail in
+  d.injected <- (now, what) :: d.injected;
+  let tr = Engine.trace d.eng in
+  if Trace.enabled tr then
+    Trace.instant tr ~ts:now ~tid:(Engine.self_tid d.eng) ~cat:"chaos" ~name:fault
+      (if detail = "" then [] else [ ("target", Trace.Str detail) ])
+
+let violate d inv detail =
+  (* keep the first few occurrences; thousands of samples would repeat *)
+  if List.length (List.filter (fun (i, _) -> i = inv) d.violations) < 3 then
+    d.violations <- (inv, detail) :: d.violations
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+
+let kill_node d ~torn node =
+  Cluster.kill ~wal_torn:torn d.cluster node;
+  d.crashed <- d.crashed @ [ node ];
+  Hashtbl.replace d.ever_crashed node ();
+  note d (if torn then "crash_torn" else "crash") node
+
+let quorum_safe_to_kill d =
+  List.length (live_nodes d) - 1 >= majority (Cluster.members d.cluster)
+
+let apply_fault d fault =
+  let fab = Cluster.fabric d.cluster in
+  match fault with
+  | Crash_primary { torn_wal } -> (
+    match Cluster.primary_node d.cluster with
+    | Some p when quorum_safe_to_kill d -> kill_node d ~torn:torn_wal p
+    | Some _ | None -> note d "skip" (fault_name fault))
+  | Crash_backup { torn_wal } -> (
+    let p = Cluster.primary_node d.cluster in
+    let backups = List.filter (fun n -> Some n <> p) (live_nodes d) in
+    match backups with
+    | [] -> note d "skip" (fault_name fault)
+    | _ when not (quorum_safe_to_kill d) -> note d "skip" (fault_name fault)
+    | _ -> kill_node d ~torn:torn_wal (Rng.pick d.nemesis backups))
+  | Crash_random -> (
+    match live_nodes d with
+    | [] -> note d "skip" (fault_name fault)
+    | _ when not (quorum_safe_to_kill d) -> note d "skip" (fault_name fault)
+    | live -> kill_node d ~torn:false (Rng.pick d.nemesis live))
+  | Restart_one -> (
+    match d.crashed with
+    | [] -> note d "skip" "restart"
+    | node :: rest ->
+      d.crashed <- rest;
+      ignore (Cluster.restart d.cluster node);
+      note d "restart" node)
+  | Partition_primary -> (
+    match Cluster.primary_node d.cluster with
+    | None -> note d "skip" (fault_name fault)
+    | Some p ->
+      let rest = List.filter (fun n -> n <> p) (Cluster.members d.cluster) in
+      Fabric.partition fab [ p ] rest;
+      note d "partition" p)
+  | Partition_oneway_primary -> (
+    match Cluster.primary_node d.cluster with
+    | None -> note d "skip" (fault_name fault)
+    | Some p ->
+      let rest = List.filter (fun n -> n <> p) (Cluster.members d.cluster) in
+      Fabric.partition_oneway fab ~from:rest ~to_:[ p ];
+      note d "partition_oneway" ("to " ^ p))
+  | Partition_random -> (
+    match live_nodes d with
+    | [] -> note d "skip" (fault_name fault)
+    | live ->
+      let n = Rng.pick d.nemesis live in
+      let rest = List.filter (fun m -> m <> n) (Cluster.members d.cluster) in
+      Fabric.partition fab [ n ] rest;
+      note d "partition" n)
+  | Heal ->
+    Fabric.heal fab;
+    note d "heal" ""
+  | Loss_window { loss; duration } ->
+    Fabric.set_loss fab loss;
+    note d "loss_begin" (Printf.sprintf "%.0f%% for %s" (loss *. 100.) (Time.to_string duration));
+    Engine.at d.eng (Engine.now d.eng + duration) (fun () ->
+        Fabric.set_loss fab 0.0;
+        note d "loss_end" "")
+  | Latency_spike { base; jitter; duration } ->
+    Fabric.set_latency fab ~base ~jitter;
+    note d "latency_begin"
+      (Printf.sprintf "%s +/- %s for %s" (Time.to_string base) (Time.to_string jitter)
+         (Time.to_string duration));
+    Engine.at d.eng (Engine.now d.eng + duration) (fun () ->
+        Fabric.set_latency fab ~base:(Time.us 40) ~jitter:(Time.us 20);
+        note d "latency_end" "")
+
+(* Materialize a probabilistic schedule into timed steps up front, so the
+   whole run (including the report's fault list) replays from the seed. *)
+let fault_pool =
+  [
+    Crash_primary { torn_wal = false };
+    Crash_primary { torn_wal = true };
+    Crash_backup { torn_wal = false };
+    Restart_one;
+    Restart_one;
+    Partition_primary;
+    Partition_random;
+    Heal;
+    Heal;
+    Loss_window { loss = 0.15; duration = Time.ms 400 };
+    Latency_spike { base = Time.us 400; jitter = Time.us 200; duration = Time.ms 400 };
+  ]
+
+let materialize d = function
+  | Timed steps -> steps
+  | Probabilistic { faults; start; stop } ->
+    let span = stop - start in
+    let times =
+      List.init faults (fun _ -> start + Rng.int d.nemesis (max 1 span))
+      |> List.sort compare
+    in
+    List.map (fun at -> { at; fault = Rng.pick d.nemesis fault_pool }) times
+
+(* ------------------------------------------------------------------ *)
+(* Invariant sampler: runs every 50 ms of virtual time during the run.  *)
+
+let sample d =
+  let live = Cluster.instances d.cluster in
+  (* single primary per view: two leaders may transiently coexist across
+     views (the deposed one has not heard the news), never within one *)
+  let primaries =
+    List.filter_map
+      (fun (node, inst) ->
+        if Instance.is_primary inst then Some (node, Paxos.view inst.Instance.paxos)
+        else None)
+      live
+  in
+  List.iter
+    (fun (node, view) ->
+      List.iter
+        (fun (node', view') ->
+          if node < node' && view = view' then
+            violate d "single-primary-per-view"
+              (Printf.sprintf "%s and %s both primary in view %d at %s" node node' view
+                 (Time.to_string (Engine.now d.eng))))
+        primaries)
+    primaries;
+  (* committed-prefix agreement against the first-seen reference value *)
+  List.iter
+    (fun (node, inst) ->
+      let px = inst.Instance.paxos in
+      let hi = Paxos.committed px in
+      let lo = (try Hashtbl.find d.watermarks node with Not_found -> 0) + 1 in
+      if hi >= lo then begin
+        List.iteri
+          (fun i value ->
+            let idx = lo + i in
+            match Hashtbl.find_opt d.reference_log idx with
+            | None -> Hashtbl.replace d.reference_log idx value
+            | Some expect ->
+              if expect <> value then
+                violate d "committed-prefix-agreement"
+                  (Printf.sprintf "%s disagrees at index %d" node idx))
+          (Paxos.get_committed_range px ~lo ~hi);
+        Hashtbl.replace d.watermarks node hi
+      end;
+      (* election log: first time we observe a node leading a view *)
+      if Instance.is_primary inst && not (Hashtbl.mem d.seen_views (node, Paxos.view px))
+      then begin
+        Hashtbl.replace d.seen_views (node, Paxos.view px) ();
+        d.elections <-
+          {
+            e_at = Engine.now d.eng;
+            winner = node;
+            e_view = Paxos.view px;
+            e_duration = Paxos.last_election_duration px;
+          }
+          :: d.elections
+      end)
+    live
+
+let rec sampler_loop d =
+  Engine.after d.eng (Time.ms 50) (fun () ->
+      if d.sampler_on then begin
+        sample d;
+        sampler_loop d
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* End-of-run checks                                                   *)
+
+let final_checks d ~(ledger : Ledger.client) ~probe_errors =
+  let live = Cluster.instances d.cluster in
+  let check name f = (name, f ()) in
+  let sampled name =
+    match List.rev (List.filter (fun (i, _) -> i = name) d.violations) with
+    | [] -> None
+    | (_, detail) :: _ -> Some detail
+  in
+  [
+    check "single-primary-per-view" (fun () -> sampled "single-primary-per-view");
+    check "committed-prefix-agreement" (fun () ->
+        (* full recheck from index 1: catches divergence the incremental
+           watermark pass would miss after a restart *)
+        let v = ref (sampled "committed-prefix-agreement") in
+        List.iter
+          (fun (node, inst) ->
+            if !v = None then
+              let px = inst.Instance.paxos in
+              let hi = Paxos.committed px in
+              if hi >= 1 then
+                List.iteri
+                  (fun i value ->
+                    let idx = 1 + i in
+                    match Hashtbl.find_opt d.reference_log idx with
+                    | Some expect when expect <> value && !v = None ->
+                      v := Some (Printf.sprintf "%s diverged at index %d" node idx)
+                    | _ -> ())
+                  (Paxos.get_committed_range px ~lo:1 ~hi))
+          live;
+        !v);
+    check "output-log-divergence" (fun () ->
+        let v = ref None in
+        let rec pairs = function
+          | [] -> ()
+          | (na, ia) :: rest ->
+            List.iter
+              (fun (nb, ib) ->
+                if !v = None then
+                  let oa = Instance.output ia and ob = Instance.output ib in
+                  let fresh n = not (Hashtbl.mem d.ever_crashed n) in
+                  let ok =
+                    if fresh na && fresh nb then
+                      Output_log.first_divergence oa ob = None
+                    else
+                      (* a restarted replica only re-emits post-checkpoint
+                         outputs: one log must be a suffix of the other *)
+                      Output_log.is_suffix ~of_:oa ob || Output_log.is_suffix ~of_:ob oa
+                  in
+                  if not ok then
+                    v :=
+                      Some
+                        (Printf.sprintf "%s vs %s%s" na nb
+                           (match Output_log.first_divergence oa ob with
+                           | Some i -> Printf.sprintf " at output %d" i
+                           | None -> "")))
+              rest;
+            pairs rest
+        in
+        pairs live;
+        !v);
+    check "state-convergence" (fun () ->
+        match List.map (fun (n, i) -> (n, i.Instance.handle.Api.state_of ())) live with
+        | [] -> Some "no live replicas"
+        | (n0, s0) :: rest -> (
+          match List.find_opt (fun (_, s) -> s <> s0) rest with
+          | Some (n, _) -> Some (Printf.sprintf "%s and %s disagree" n0 n)
+          | None -> None));
+    check "acked-durability" (fun () ->
+        (* every client-acked write must be in every live replica's state *)
+        let v = ref None in
+        List.iter
+          (fun (node, inst) ->
+            if !v = None then begin
+              let present = Hashtbl.create 1024 in
+              List.iter
+                (fun id -> Hashtbl.replace present id ())
+                (Ledger.ids_of_state (inst.Instance.handle.Api.state_of ()));
+              match
+                List.find_opt
+                  (fun id -> not (Hashtbl.mem present id))
+                  (Ledger.acked_ids ledger)
+              with
+              | Some id -> v := Some (Printf.sprintf "acked %s missing on %s" id node)
+              | None -> ()
+            end)
+          live;
+        !v);
+    check "quorum-liveness" (fun () ->
+        if Cluster.primary_node d.cluster = None then Some "no primary after heal"
+        else if probe_errors > 0 then
+          Some (Printf.sprintf "%d probe requests failed after heal" probe_errors)
+        else None);
+    check "no-thread-failures" (fun () ->
+        match Engine.failures d.eng with
+        | [] -> None
+        | (name, e) :: _ ->
+          Some (Printf.sprintf "thread %s died: %s" name (Printexc.to_string e)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Running a scenario                                                  *)
+
+(* Short failure-detection timers, as in the paper's LAN deployment —
+   and a checkpoint every 2 s of virtual time so restarts exercise the
+   checkpoint + replay path, not just full replay. *)
+let chaos_config =
+  {
+    Instance.default_config with
+    paxos =
+      {
+        Paxos.heartbeat_period = Time.ms 100;
+        election_timeout = Time.ms 300;
+        election_jitter = Time.ms 50;
+        round_retry = Time.ms 100;
+      };
+    checkpoint_period = Time.sec 2;
+  }
+
+let run ?(cfg = chaos_config) ?trace ~seed scenario =
+  let cluster = Cluster.create ~seed ~cfg ?trace ~server:Ledger.server () in
+  let eng = Cluster.engine cluster in
+  let d =
+    {
+      cluster;
+      eng;
+      nemesis = Rng.create ((seed * 1_000_003) + 0x5eed);
+      crashed = [];
+      ever_crashed = Hashtbl.create 8;
+      injected = [];
+      violations = [];
+      elections = [];
+      seen_views = Hashtbl.create 32;
+      reference_log = Hashtbl.create 4096;
+      watermarks = Hashtbl.create 8;
+      sampler_on = true;
+    }
+  in
+  Cluster.start cluster;
+  sampler_loop d;
+  (* give the cluster 200 ms to come up before the clock-zero faults *)
+  Cluster.run ~until:(Time.ms 200) cluster;
+  let t0 = Engine.now eng in
+  List.iter
+    (fun { at; fault } -> Engine.at eng (t0 + at) (fun () -> apply_fault d fault))
+    (materialize d scenario.schedule);
+  (* the workload runs across the whole fault window *)
+  let target = Target.cluster cluster ~port:80 in
+  let ledger = Ledger.client () in
+  let handle =
+    Loadgen.run ~name:"chaos" ~think:scenario.think ~retries:6
+      ~retry_backoff:(Time.ms 100) ~clients:scenario.clients ~requests:scenario.requests
+      ~request:(Ledger.request ledger) target
+  in
+  Loadgen.drive ~timeout:(Time.sec 120) target handle;
+  let load = handle.Loadgen.collect () in
+  (* play out any schedule tail the workload outlived, then stop injecting *)
+  Cluster.run ~until:(t0 + scenario.duration) cluster;
+  (* heal the network (crashed replicas stay down: liveness must hold with
+     whatever quorum survived) and let the survivors settle *)
+  if Fabric.partitions (Cluster.fabric cluster) > 0 then begin
+    Fabric.heal (Cluster.fabric cluster);
+    note d "heal" "(end of schedule)"
+  end;
+  Fabric.set_loss (Cluster.fabric cluster) 0.0;
+  Fabric.set_latency (Cluster.fabric cluster) ~base:(Time.us 40) ~jitter:(Time.us 20);
+  Cluster.run ~until:(Engine.now eng + scenario.settle) cluster;
+  (* liveness probe: with the network healed and a quorum up, every
+     request must succeed *)
+  let probe =
+    Loadgen.run ~name:"probe" ~retries:8 ~retry_backoff:(Time.ms 100) ~clients:2
+      ~requests:20 ~request:(Ledger.request ledger) target
+  in
+  Loadgen.drive ~timeout:(Time.sec 60) target probe;
+  let probe_r = probe.Loadgen.collect () in
+  (* A restarted replica replays its backlog through the DMT at simulated
+     speed, so its server state trails the paxos applied index by virtual
+     seconds.  Poll at fixed virtual-time steps (bounded, deterministic)
+     until every live ledger agrees and holds every acked write; if they
+     still disagree at the deadline, the convergence invariants fail. *)
+  let converged () =
+    match Cluster.instances cluster with
+    | [] -> false
+    | (_, i0) :: rest ->
+      let s0 = i0.Instance.handle.Api.state_of () in
+      List.for_all (fun (_, i) -> i.Instance.handle.Api.state_of () = s0) rest
+      &&
+      let present = Hashtbl.create 1024 in
+      List.iter (fun id -> Hashtbl.replace present id ()) (Ledger.ids_of_state s0);
+      List.for_all (fun id -> Hashtbl.mem present id) (Ledger.acked_ids ledger)
+  in
+  let deadline = Engine.now eng + Time.sec 30 in
+  Cluster.run ~until:(Engine.now eng + Time.ms 200) cluster;
+  while (not (converged ())) && Engine.now eng < deadline do
+    Cluster.run ~until:(Engine.now eng + Time.ms 100) cluster
+  done;
+  sample d;
+  d.sampler_on <- false;
+  let sum f =
+    List.fold_left (fun acc (_, inst) -> acc + f inst.Instance.paxos) 0
+      (Cluster.instances cluster)
+  in
+  {
+    r_scenario = scenario.name;
+    r_seed = seed;
+    injected = List.rev d.injected;
+    elections = List.rev d.elections;
+    r_abdications = sum Paxos.abdications;
+    r_catchup_installed = sum Paxos.catchup_installed;
+    r_torn_discarded = sum Paxos.wal_torn_discarded;
+    r_acked = Ledger.acked_count ledger;
+    r_ok = List.length load.Loadgen.latencies;
+    r_errors = load.Loadgen.errors;
+    r_retries = load.Loadgen.retries;
+    probe_ok = List.length probe_r.Loadgen.latencies;
+    probe_errors = probe_r.Loadgen.errors;
+    final_primary = Cluster.primary_node cluster;
+    invariants = final_checks d ~ledger ~probe_errors:probe_r.Loadgen.errors;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Built-in scenario suite                                             *)
+
+let base =
+  {
+    name = "";
+    about = "";
+    schedule = Timed [];
+    duration = Time.sec 4;
+    settle = Time.sec 1;
+    clients = 4;
+    requests = 160;
+    think = Time.ms 40;
+  }
+
+let scenarios =
+  [
+    { base with
+      name = "primary-crash";
+      about = "kill the primary under load, restart it from a checkpoint";
+      schedule =
+        Timed
+          [ { at = Time.sec 1; fault = Crash_primary { torn_wal = false } };
+            { at = Time.ms 2500; fault = Restart_one } ] };
+    { base with
+      name = "backup-crash";
+      about = "kill a backup under load, restart it from a checkpoint";
+      schedule =
+        Timed
+          [ { at = Time.sec 1; fault = Crash_backup { torn_wal = false } };
+            { at = Time.ms 2500; fault = Restart_one } ] };
+    { base with
+      name = "torn-wal";
+      about = "crash the primary mid-WAL-append; recovery must discard the torn tail";
+      schedule =
+        Timed
+          [ { at = Time.sec 1; fault = Crash_primary { torn_wal = true } };
+            { at = Time.ms 2500; fault = Restart_one } ] };
+    { base with
+      name = "partition-primary";
+      about = "isolate the primary (both directions), heal after the new election";
+      schedule =
+        Timed
+          [ { at = Time.sec 1; fault = Partition_primary };
+            { at = Time.ms 2500; fault = Heal } ] };
+    { base with
+      name = "asym-partition";
+      about = "block traffic towards the primary only: backups still hear heartbeats, \
+               so progress depends on primary abdication";
+      schedule =
+        Timed
+          [ { at = Time.sec 1; fault = Partition_oneway_primary };
+            { at = Time.ms 2500; fault = Heal } ] };
+    { base with
+      name = "loss-latency";
+      about = "packet-loss window, then a latency spike";
+      duration = Time.sec 5;
+      schedule =
+        Timed
+          [ { at = Time.sec 1;
+              fault = Loss_window { loss = 0.2; duration = Time.sec 1 } };
+            { at = Time.ms 2500;
+              fault =
+                Latency_spike
+                  { base = Time.us 500; jitter = Time.us 250; duration = Time.sec 1 } } ] };
+    { base with
+      name = "composed";
+      about = "partition the primary during a checkpoint, heal, crash the new \
+               primary, restart it";
+      duration = Time.sec 6;
+      requests = 200;
+      schedule =
+        Timed
+          [ { at = Time.ms 2100; fault = Partition_primary };
+            { at = Time.ms 3300; fault = Heal };
+            { at = Time.sec 4; fault = Crash_primary { torn_wal = false } };
+            { at = Time.sec 5; fault = Restart_one } ] };
+    { base with
+      name = "random";
+      about = "seeded probabilistic nemesis: faults drawn from the full pool";
+      duration = Time.sec 6;
+      requests = 200;
+      schedule = Probabilistic { faults = 6; start = Time.ms 500; stop = Time.sec 5 } };
+  ]
+
+let find_scenario name = List.find_opt (fun s -> s.name = name) scenarios

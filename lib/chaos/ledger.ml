@@ -1,0 +1,114 @@
+(** The chaos workload: an append-only ledger server plus a client that
+    remembers which writes were acknowledged.
+
+    Each request appends one globally unique id; the server acknowledges
+    with [OK <id>] only after the write is admitted from the PAXOS
+    sequence, so an acknowledgement implies the id was decided by a
+    quorum.  At the end of a run the checker demands that every
+    acknowledged id is present in every live replica's state — the
+    "no client-acked request lost" invariant.  Retried attempts use fresh
+    ids, which keeps the check sound under at-least-once delivery: an
+    unacked id may or may not land in the ledger, an acked one must. *)
+
+module Time = Crane_sim.Time
+module Sock = Crane_socket.Sock
+module Api = Crane_core.Api
+module Target = Crane_workload.Target
+
+let server : Api.server =
+  {
+    Api.name = "ledger";
+    install = (fun fs -> Crane_fs.Memfs.write fs ~path:"install/ledger.conf" "port=80");
+    boot =
+      (fun api ->
+        let module R = (val api : Api.API) in
+        let ids = ref [] in
+        (* newest first *)
+        let count = ref 0 in
+        let stopped = ref false in
+        let mu = R.mutex () in
+        R.spawn ~name:"ledger-listener" (fun () ->
+            let l = R.listen ~port:80 in
+            while not !stopped do
+              R.poll l;
+              let c = R.accept l in
+              R.spawn ~name:"ledger-worker" (fun () ->
+                  let rec serve buf =
+                    match String.index_opt buf '\n' with
+                    | Some i ->
+                      let line = String.trim (String.sub buf 0 i) in
+                      let rest = String.sub buf (i + 1) (String.length buf - i - 1) in
+                      (match String.split_on_char ' ' line with
+                      | [ "PUT"; id ] ->
+                        R.lock mu;
+                        ids := id :: !ids;
+                        incr count;
+                        R.unlock mu;
+                        R.send c (Printf.sprintf "OK %s\n" id)
+                      | _ -> R.send c "ERR\n");
+                      serve rest
+                    | None ->
+                      let chunk = R.recv c ~max:4096 in
+                      if chunk = "" then R.close c else serve (buf ^ chunk)
+                  in
+                  serve "")
+            done);
+        {
+          Api.server_name = "ledger";
+          state_of = (fun () -> String.concat "," (List.rev !ids));
+          load_state =
+            (fun s ->
+              let l = if s = "" then [] else String.split_on_char ',' s in
+              ids := List.rev l;
+              count := List.length l);
+          mem_bytes = (fun () -> 1_000_000 + (16 * !count));
+          stop = (fun () -> stopped := true);
+        });
+  }
+
+type client = {
+  mutable attempts : int;  (** also the id source: every attempt is unique *)
+  acked : (string, unit) Hashtbl.t;
+}
+
+let client () = { attempts = 0; acked = Hashtbl.create 512 }
+
+let acked_ids t =
+  List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) t.acked [])
+
+let acked_count t = Hashtbl.length t.acked
+
+(* One request: PUT a fresh id, succeed only on a matching OK.  A short
+   recv timeout (vs. the benchmarks' 120 s) makes a stalled primary a
+   transient failure the loadgen can retry, not a wedged client. *)
+let request t target ~from =
+  ignore from;
+  t.attempts <- t.attempts + 1;
+  let id = Printf.sprintf "w%d" t.attempts in
+  match Target.connect target ~from with
+  | None -> None
+  | Some conn ->
+    let resp =
+      try
+        Sock.send conn (Printf.sprintf "PUT %s\n" id);
+        let rec read buf =
+          if String.contains buf '\n' then Some buf
+          else
+            let chunk = Sock.recv ~timeout:(Time.sec 5) conn ~max:4096 in
+            if chunk = "" then if buf = "" then None else Some buf
+            else read (buf ^ chunk)
+        in
+        read ""
+      with Sock.Connection_closed -> None
+    in
+    (try Sock.close conn with Sock.Connection_closed -> ());
+    (match resp with
+    | Some r when String.length r >= String.length ("OK " ^ id)
+                  && String.sub r 0 (String.length ("OK " ^ id)) = "OK " ^ id ->
+      Hashtbl.replace t.acked id ();
+      resp
+    | Some _ | None -> None)
+
+(* Parse a replica's ledger state back into an id set. *)
+let ids_of_state s =
+  if s = "" then [] else String.split_on_char ',' s

@@ -89,11 +89,15 @@ let primary t =
 
 let primary_node t = Option.map fst (primary t)
 
-let kill t node =
+(** Crash a replica.  [wal_torn] models the crash landing mid-append: the
+    oldest in-flight WAL write survives only as a torn partial tail (and
+    younger in-flight writes are lost), which recovery must discard. *)
+let kill ?(wal_torn = false) t node =
   match instance t node with
   | Some inst ->
     Instance.kill ~eng:t.eng inst;
-    t.instances <- List.remove_assoc node t.instances
+    t.instances <- List.remove_assoc node t.instances;
+    if wal_torn then ignore (Wal.crash_torn_tail (wal_for t node))
   | None -> ()
 
 (** The latest checkpoint available on any live replica. *)
@@ -112,25 +116,31 @@ let latest_checkpoint t =
     from the checkpoint's global index (paper §5.2).  Without a
     checkpoint, replays the whole log from index 0. *)
 let restart t node =
-  let ckpt = latest_checkpoint t in
-  let skip_upto = match ckpt with Some c -> c.Manager.global_index | None -> 0 in
-  let preloaded_fs, restore_state =
-    match ckpt with
-    | None -> (None, None)
-    | Some c ->
-      (* Ship the checkpoint across the LAN: charge transfer time on the
-         image + patch bytes at ~1 Gbps. *)
-      let bytes =
-        c.Manager.image.Crane_checkpoint.Criu.mem_bytes
-        + Crane_fs.Fsdiff.patch_bytes c.Manager.fs_patch
-      in
-      Engine.at t.eng (Engine.now t.eng + (bytes * 8)) (fun () -> ());
-      let snap = Crane_fs.Fsdiff.apply ~base:c.Manager.fs_base c.Manager.fs_patch in
-      (Some (Memfs.of_snapshot snap), Some c.Manager.image.Crane_checkpoint.Criu.payload)
-  in
-  let inst = boot_node t ~skip_upto ?preloaded_fs ?restore_state node in
-  Instance.replay_from inst ~from_index:(skip_upto + 1);
-  inst
+  match instance t node with
+  | Some inst -> inst (* already running: restarting a live replica is a no-op *)
+  | None ->
+    let ckpt = latest_checkpoint t in
+    let skip_upto = match ckpt with Some c -> c.Manager.global_index | None -> 0 in
+    let preloaded_fs, restore_state =
+      match ckpt with
+      | None -> (None, None)
+      | Some c ->
+        (* Ship the checkpoint across the LAN: charge transfer time on the
+           image + patch bytes at ~1 Gbps. *)
+        let bytes =
+          c.Manager.image.Crane_checkpoint.Criu.mem_bytes
+          + Crane_fs.Fsdiff.patch_bytes c.Manager.fs_patch
+        in
+        Engine.at t.eng (Engine.now t.eng + (bytes * 8)) (fun () -> ());
+        let snap = Crane_fs.Fsdiff.apply ~base:c.Manager.fs_base c.Manager.fs_patch in
+        (Some (Memfs.of_snapshot snap), Some c.Manager.image.Crane_checkpoint.Criu.payload)
+    in
+    let inst = boot_node t ~skip_upto ?preloaded_fs ?restore_state node in
+    Instance.replay_from inst ~from_index:(skip_upto + 1);
+    (* The checkpoint component died with the old incarnation: re-arm it
+       so recovery does not silently stop future checkpoints. *)
+    if t.checkpoint_node = Some node then Instance.start_checkpointing inst;
+    inst
 
 let outputs t =
   List.map (fun (node, inst) -> (node, Instance.output inst)) t.instances

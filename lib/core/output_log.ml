@@ -33,6 +33,21 @@ let render ?(strip_times = true) t =
 
 let equal ?strip_times a b = String.equal (render ?strip_times a) (render ?strip_times b)
 
+(* A replica restarted from a checkpoint only re-emits outputs for calls
+   decided after the checkpoint's global index, so its log must match the
+   tail of a continuously-live replica's log. *)
+let is_suffix ?(strip_times = true) ~of_ t =
+  let norm l =
+    List.map
+      (fun { conn; payload } ->
+        (conn, if strip_times then normalize_payload payload else payload))
+      (entries l)
+  in
+  let full = norm of_ and tail = norm t in
+  let drop = List.length full - List.length tail in
+  let rec skip n l = if n <= 0 then l else match l with [] -> [] | _ :: r -> skip (n - 1) r in
+  drop >= 0 && skip drop full = tail
+
 (* First index where two logs disagree, for diagnostics. *)
 let first_divergence ?(strip_times = true) a b =
   let norm e =

@@ -153,13 +153,29 @@ let create ~eng ~node ~world ~port ~paxos ~vhost ~group ~skip_upto () =
           Hashtbl.remove t.client_conns conn;
           Sock.close c
         | None -> ());
-  (* DMT -> consensus path for time bubbles (Figure 13). *)
+  (* DMT -> consensus path for time bubbles (Figure 13).  Backpressure:
+     the gate re-requests every wtimeout while the sequence stays empty,
+     so if commits stall (lossy network, lost quorum contact) an
+     unthrottled loop would append ~10k junk bubbles per virtual second
+     that every replica must later commit and drain.  Skip the request
+     when the pipeline is already deep; bubbling resumes as soon as the
+     backlog commits. *)
   Vhost.set_request_bubble vhost (fun () ->
-      if Paxos.is_primary t.paxos then
+      if Paxos.is_primary t.paxos && Paxos.pending t.paxos < 32 then
         ignore (submit t (Event.Time_bubble { nclock = Vhost.nclock vhost })));
   (* Consensus -> server path, in decision order. *)
   Paxos.on_commit paxos (fun ~index value ->
       if index > t.skip_upto then Vhost.deliver vhost (Event.decode value));
+  (* Deposed or abdicated: shed every attached client immediately so they
+     see EOF and retry against the new primary, instead of waiting out a
+     recv timeout on a node that can no longer commit their requests. *)
+  Paxos.on_demote paxos (fun () ->
+      let shed = Hashtbl.fold (fun id c acc -> (id, c) :: acc) t.client_conns [] in
+      List.iter
+        (fun (id, c) ->
+          Hashtbl.remove t.client_conns id;
+          Sock.close c)
+        (List.sort (fun (a, _) (b, _) -> compare a b) shed));
   (* Client -> consensus path. *)
   let listener = Sock.listen world ~node ~port in
   Engine.on_kill eng group (fun () -> Sock.close_listener listener);

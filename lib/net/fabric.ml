@@ -20,7 +20,9 @@ type t = {
   (* FIFO guarantee: never schedule a delivery on a link earlier than the
      previous one. *)
   last_delivery : (node * node, Time.t) Hashtbl.t;
-  mutable partitions : (node list * node list) list;
+  (* A partition blocks [src] -> [dst]; symmetric ones block the reverse
+     direction too. *)
+  mutable partitions : (node list * node list * bool) list;
   mutable delivered : int;
   mutable dropped : int;
 }
@@ -51,12 +53,14 @@ let node_up t n = Hashtbl.replace t.up n true
 let node_down t n = Hashtbl.replace t.up n false
 let is_up t n = match Hashtbl.find_opt t.up n with Some b -> b | None -> false
 
-let partition t a b = t.partitions <- (a, b) :: t.partitions
+let partition t a b = t.partitions <- (a, b, true) :: t.partitions
+let partition_oneway t ~from ~to_ = t.partitions <- (from, to_, false) :: t.partitions
 let heal t = t.partitions <- []
+let partitions t = List.length t.partitions
 
 let partitioned t a b =
-  let blocks (l, r) =
-    (List.mem a l && List.mem b r) || (List.mem a r && List.mem b l)
+  let blocks (l, r, sym) =
+    (List.mem a l && List.mem b r) || (sym && List.mem a r && List.mem b l)
   in
   List.exists blocks t.partitions
 

@@ -43,8 +43,16 @@ val partition : t -> node list -> node list -> unit
 (** Block traffic between the two sides (both directions).  Cumulative
     with previous partitions. *)
 
+val partition_oneway : t -> from:node list -> to_:node list -> unit
+(** Block traffic from [from] to [to_] only: the asymmetric failure mode
+    (e.g. a primary whose outbound NIC queue wedges while inbound traffic
+    still arrives).  Cumulative with previous partitions. *)
+
 val heal : t -> unit
 (** Remove all partitions. *)
+
+val partitions : t -> int
+(** Number of active partition rules. *)
 
 val bind : t -> endpoint -> (src:endpoint -> message -> unit) -> unit
 (** Install the handler for a (node, port).  Replaces any previous one. *)

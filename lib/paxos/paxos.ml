@@ -30,6 +30,7 @@ type Fabric.message +=
   | Accept_ok of { aview : int; index : int }
   | Commit of { cview : int; committed : int }
   | Heartbeat of { hview : int; committed : int }
+  | Heartbeat_ok of { hview : int }
   | View_change of { nview : int; cand_committed : int }
   | View_change_ok of { nview : int; tail : wire_entry list; committed : int }
   | Candidate of { nview : int }
@@ -68,14 +69,22 @@ type t = {
   mutable applied : int;
   acks : (int, Fabric.node list) Hashtbl.t;
   mutable apply_cb : (index:int -> string -> unit) option;
+  mutable demote_cb : (unit -> unit) option;
   (* Failure detection / election. *)
   mutable last_heartbeat : Time.t;
+  (* Last instant any peer was heard from: a primary that loses quorum
+     contact for election_timeout abdicates (one-way-partition liveness). *)
+  mutable last_peer_contact : Time.t;
   mutable election : election option;
   mutable started : bool;
   (* Stats. *)
   mutable decisions : int;
   mutable view_changes : int;
   mutable last_election_duration : Time.t option;
+  mutable abdications : int;
+  mutable catchup_served : int;
+  mutable catchup_installed : int;
+  mutable wal_torn_discarded : int;
 }
 
 let node t = t.self
@@ -86,8 +95,16 @@ let committed t = t.committed
 let applied t = t.applied
 let decisions t = t.decisions
 let view_changes t = t.view_changes
+let pending t = t.last_index - t.committed
 let last_election_duration t = t.last_election_duration
+let abdications t = t.abdications
+let catchup_served t = t.catchup_served
+let catchup_installed t = t.catchup_installed
+let wal_torn_discarded t = t.wal_torn_discarded
 let on_commit t cb = t.apply_cb <- Some cb
+let on_demote t cb = t.demote_cb <- Some cb
+
+let fire_demote t = match t.demote_cb with Some cb -> cb () | None -> ()
 
 let majority t = (List.length t.members / 2) + 1
 let others t = List.filter (fun n -> n <> t.self) t.members
@@ -128,9 +145,12 @@ let rec apply t =
 let set_committed t idx =
   if idx > t.committed then begin
     t.committed <- idx;
-    persist t (Wal_commit idx) (fun () -> ());
-    apply t
-  end
+    persist t (Wal_commit idx) (fun () -> ())
+  end;
+  (* Always try to apply, even when the commit index did not move: the
+     caller may have just filled a log hole {e below} it (catch-up after a
+     lossy window), and the application was stalled on that hole. *)
+  apply t
 
 let store_entry t ~index ~eview ~value =
   (match Hashtbl.find_opt t.log index with
@@ -223,23 +243,57 @@ let install_entries t entries =
   List.iter (fun (idx, v, value) -> store_entry t ~index:idx ~eview:v ~value) entries
 
 let become_backup t ~nview ~primary =
+  let was_primary = is_primary t in
   t.view <- nview;
   if nview > t.max_view_seen then t.max_view_seen <- nview;
   t.primary <- primary;
   t.election <- None;
-  t.last_heartbeat <- Engine.now t.eng
+  t.last_heartbeat <- Engine.now t.eng;
+  if was_primary && not (is_primary t) then fire_demote t
+
+(* A primary that cannot hear any peer (no acks, no heartbeat acks) for
+   election_timeout has lost its quorum — or sits on the sending side of
+   an asymmetric partition, where backups still hear its heartbeats and
+   never elect.  Stepping down breaks the stalemate: heartbeats stop, the
+   backups time out and elect among themselves. *)
+let abdicate t =
+  t.primary <- None;
+  t.abdications <- t.abdications + 1;
+  (let tr = trace t in
+   if Trace.enabled tr then
+     Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+       ~node:t.self ~cat:"paxos" ~name:"abdicate" [ ("view", Trace.Int t.view) ]);
+  fire_demote t
 
 let rec heartbeat_loop t =
   Engine.after t.eng ~group:t.group t.cfg.heartbeat_period (fun () ->
-      if is_primary t then begin
-        let tr = trace t in
-        if Trace.enabled tr then
-          Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
-            ~node:t.self ~cat:"paxos" ~name:"heartbeat"
-            [ ("view", Trace.Int t.view); ("committed", Trace.Int t.committed) ];
-        cast t (Heartbeat { hview = t.view; committed = t.committed });
-        heartbeat_loop t
-      end)
+      if is_primary t then
+        if
+          List.length t.members > 1
+          && Engine.now t.eng - t.last_peer_contact >= t.cfg.election_timeout
+        then abdicate t
+        else begin
+          let tr = trace t in
+          if Trace.enabled tr then
+            Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+              ~node:t.self ~cat:"paxos" ~name:"heartbeat"
+              [ ("view", Trace.Int t.view); ("committed", Trace.Int t.committed) ];
+          cast t (Heartbeat { hview = t.view; committed = t.committed });
+          (* Retransmit the pending window.  An Accept lost in the fabric
+             is never re-sent on its own, so the commit index would freeze
+             at the hole while new proposals pile up behind it; re-casting
+             a bounded window from committed+1 repairs the hole, and
+             advance_commits then cascades through the already-acked
+             tail.  Backups re-ack duplicates without re-persisting. *)
+          let hi = min t.last_index (t.committed + 64) in
+          for index = t.committed + 1 to hi do
+            match Hashtbl.find_opt t.log index with
+            | Some (_, value) ->
+              cast t (Accept { aview = t.view; index; value; committed = t.committed })
+            | None -> ()
+          done;
+          heartbeat_loop t
+        end)
 
 let become_primary t election =
   let entries, committed = merge_tails t election.tails in
@@ -336,18 +390,28 @@ let send_catchup t ~dst ~from_index =
       (fun (idx, _, value) -> if idx <= t.committed then Some (idx, value) else None)
       (log_tail t ~from_index)
   in
+  t.catchup_served <- t.catchup_served + List.length entries;
   tell t dst
     (Catchup_resp { rview = t.view; primary = Option.value t.primary ~default:t.self; entries; committed = t.committed })
 
 let handle t ~src msg =
   let from = src.Fabric.node in
+  t.last_peer_contact <- Engine.now t.eng;
   match msg with
   | Accept { aview; index; value; committed } ->
     if aview = t.view && Some from = t.primary then begin
+      let dup =
+        match Hashtbl.find_opt t.log index with Some (v, _) -> v = aview | None -> false
+      in
       store_entry t ~index ~eview:aview ~value;
       t.last_heartbeat <- Engine.now t.eng;
-      persist t (Wal_accept (aview, index, value)) (fun () ->
-          if t.view = aview then tell t from (Accept_ok { aview; index }));
+      (* A retransmitted Accept is already durable here: re-ack straight
+         away (the first ack may have been the lost half) without writing
+         a duplicate WAL record. *)
+      if dup then tell t from (Accept_ok { aview; index })
+      else
+        persist t (Wal_accept (aview, index, value)) (fun () ->
+            if t.view = aview then tell t from (Accept_ok { aview; index }));
       set_committed t (min committed index)
     end
     else if aview > t.view then
@@ -372,6 +436,8 @@ let handle t ~src msg =
     end
     else if hview = t.view then begin
       t.last_heartbeat <- Engine.now t.eng;
+      (* Ack so the primary knows it still has quorum contact. *)
+      tell t from (Heartbeat_ok { hview });
       if Some from <> t.primary then t.primary <- Some from;
       (if committed > t.committed then
          if committed > t.last_index then
@@ -384,6 +450,7 @@ let handle t ~src msg =
       if t.applied < t.committed && not (Hashtbl.mem t.log (t.applied + 1)) then
         tell t from (Catchup_req { from_index = t.applied + 1 })
     end
+  | Heartbeat_ok _ -> () (* peer contact already noted above *)
   | View_change { nview; cand_committed } ->
     if nview > t.max_view_seen then begin
       t.max_view_seen <- nview;
@@ -429,7 +496,12 @@ let handle t ~src msg =
   | Catchup_resp { rview; primary; entries; committed } ->
     if rview >= t.view then begin
       if rview > t.view then become_backup t ~nview:rview ~primary:(Some primary);
-      List.iter (fun (idx, value) -> store_entry t ~index:idx ~eview:rview ~value) entries;
+      List.iter
+        (fun (idx, value) ->
+          if not (Hashtbl.mem t.log idx) then
+            t.catchup_installed <- t.catchup_installed + 1;
+          store_entry t ~index:idx ~eview:rview ~value)
+        entries;
       set_committed t committed
     end
   | _ -> ()
@@ -437,12 +509,18 @@ let handle t ~src msg =
 (* ------------------------------------------------------------------ *)
 
 let recover_from_wal t =
-  let absorb record =
-    match (Marshal.from_string record 0 : wal_record) with
-    | Wal_accept (v, idx, value) -> store_entry t ~index:idx ~eview:v ~value
-    | Wal_commit idx -> if idx > t.committed then t.committed <- idx
+  let absorb (e : Wal.entry) =
+    (* A crash mid-append leaves a torn partial tail: discard it (and any
+       record whose bytes no longer decode) — the stable prefix is the
+       truth, catch-up refills the rest from live replicas. *)
+    if e.Wal.torn then t.wal_torn_discarded <- t.wal_torn_discarded + 1
+    else
+      match (Marshal.from_string e.Wal.data 0 : wal_record) with
+      | Wal_accept (v, idx, value) -> store_entry t ~index:idx ~eview:v ~value
+      | Wal_commit idx -> if idx > t.committed then t.committed <- idx
+      | exception _ -> t.wal_torn_discarded <- t.wal_torn_discarded + 1
   in
-  List.iter absorb (Wal.records t.wal);
+  List.iter absorb (Wal.entries t.wal);
   (* Accept records are written asynchronously, so the log can have holes
      below the recorded committed index (the marker write raced the
      crash).  Clamp committed to the contiguous prefix: catch-up re-learns
@@ -476,12 +554,18 @@ let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group ()
       applied = 0;
       acks = Hashtbl.create 1024;
       apply_cb = None;
+      demote_cb = None;
       last_heartbeat = Time.zero;
+      last_peer_contact = Time.zero;
       election = None;
       started = false;
       decisions = 0;
       view_changes = 0;
       last_election_duration = None;
+      abdications = 0;
+      catchup_served = 0;
+      catchup_installed = 0;
+      wal_torn_discarded = 0;
     }
   in
   recover_from_wal t;
@@ -494,6 +578,7 @@ let start t ?(as_primary = false) () =
   if not t.started then begin
     t.started <- true;
     t.last_heartbeat <- Engine.now t.eng;
+    t.last_peer_contact <- Engine.now t.eng;
     let initial_primary =
       match t.members with first :: _ -> first | [] -> t.self
     in

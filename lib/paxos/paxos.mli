@@ -64,6 +64,12 @@ val submit : t -> string -> bool
 val on_commit : t -> (index:int -> string -> unit) -> unit
 (** Register the application callback (one per component). *)
 
+val on_demote : t -> (unit -> unit) -> unit
+(** Register a callback fired whenever this node stops believing itself
+    primary — deposed by a higher view, or abdicating after losing quorum
+    contact.  The proxy uses it to shed clients so they retry against the
+    new primary (one per component). *)
+
 val committed : t -> int
 (** Highest committed index (0 = nothing yet). *)
 
@@ -77,7 +83,30 @@ val decisions : t -> int
 
 val view_changes : t -> int
 
+val pending : t -> int
+(** Proposed-but-uncommitted entries ([last_index - committed]): the depth
+    of the consensus pipeline.  The proxy uses it as a backpressure signal
+    for time bubbles — when commits stall (lossy network, lost quorum) an
+    unthrottled bubble request loop would append thousands of junk entries
+    that the whole cluster must later replay. *)
+
 val last_election_duration : t -> Crane_sim.Time.t option
 (** Wall-clock (virtual) time of the most recent successful election this
     node won, from first view-change message to new-view announcement —
     the paper's 1.97 ms figure. *)
+
+val abdications : t -> int
+(** Times this node stepped down as primary after hearing no peer for
+    election_timeout — the asymmetric-partition escape hatch: backups on
+    the far side of a one-way link still receive heartbeats and would
+    otherwise never elect. *)
+
+val catchup_served : t -> int
+(** Committed entries this node shipped in catch-up responses. *)
+
+val catchup_installed : t -> int
+(** Log entries this node first learned through catch-up responses
+    (the recovery "range replayed" of §5.2). *)
+
+val wal_torn_discarded : t -> int
+(** Torn or undecodable WAL tail records discarded during recovery. *)

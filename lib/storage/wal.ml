@@ -1,19 +1,36 @@
 module Time = Crane_sim.Time
 module Engine = Crane_sim.Engine
 
+type entry = { data : string; torn : bool }
+
 type t = {
   eng : Engine.t;
   wname : string;
   write_latency : Time.t;
-  mutable stable : string list; (* newest first *)
+  mutable stable : entry list; (* newest first *)
   mutable writes : int;
   (* Writes become stable in submission order even when issued
      concurrently: model a single flash channel. *)
   mutable last_stable_at : Time.t;
+  (* Submitted but not yet stable, in submission order (oldest first):
+     what a crash can tear. *)
+  inflight : (int, string) Hashtbl.t;
+  mutable next_write_id : int;
+  mutable torn_tails : int;
 }
 
 let create ?(write_latency = Time.us 15) eng ~name =
-  { eng; wname = name; write_latency; stable = []; writes = 0; last_stable_at = Time.zero }
+  {
+    eng;
+    wname = name;
+    write_latency;
+    stable = [];
+    writes = 0;
+    last_stable_at = Time.zero;
+    inflight = Hashtbl.create 8;
+    next_write_id = 0;
+    torn_tails = 0;
+  }
 
 let name t = t.wname
 
@@ -25,18 +42,48 @@ let stable_time t =
 
 let append_async t record k =
   t.writes <- t.writes + 1;
+  let id = t.next_write_id in
+  t.next_write_id <- id + 1;
+  Hashtbl.replace t.inflight id record;
   Engine.at t.eng (stable_time t) (fun () ->
-      t.stable <- record :: t.stable;
-      k ())
+      (* A crash_torn_tail between submission and this instant consumed
+         the write: it never reached the device intact. *)
+      if Hashtbl.mem t.inflight id then begin
+        Hashtbl.remove t.inflight id;
+        t.stable <- { data = record; torn = false } :: t.stable;
+        k ()
+      end)
 
 let append t record =
   Engine.suspend t.eng (fun wake ->
       append_async t record (fun () -> ignore (wake ())))
 
-let records t = List.rev t.stable
+let crash_torn_tail t =
+  let pending =
+    Hashtbl.fold (fun id data acc -> (id, data) :: acc) t.inflight []
+    |> List.sort compare
+  in
+  Hashtbl.reset t.inflight;
+  match pending with
+  | [] -> false
+  | (_, data) :: _ ->
+    (* The oldest in-flight record was mid-write: a partial prefix lands
+       on disk; younger in-flight writes are lost outright. *)
+    let partial = String.sub data 0 (String.length data / 2) in
+    t.stable <- { data = partial; torn = true } :: t.stable;
+    t.torn_tails <- t.torn_tails + 1;
+    true
+
+let entries t = List.rev t.stable
+
+let records t =
+  List.filter_map (fun e -> if e.torn then None else Some e.data) (entries t)
+
 let length t = List.length t.stable
 let writes t = t.writes
+let torn_tails t = t.torn_tails
 
 let reset t =
   t.stable <- [];
-  t.writes <- 0
+  t.writes <- 0;
+  Hashtbl.reset t.inflight

@@ -9,6 +9,10 @@
 
 type t
 
+type entry = { data : string; torn : bool }
+(** A stable record.  [torn] marks the partial tail left by a crash
+    mid-append: readers must discard it (its bytes are truncated). *)
+
 val create : ?write_latency:Crane_sim.Time.t -> Crane_sim.Engine.t -> name:string -> t
 (** Default write latency 15 us (datacenter NVMe fsync). *)
 
@@ -21,12 +25,25 @@ val append_async : t -> string -> (unit -> unit) -> unit
 (** Durable append from callback context; the continuation runs once the
     record is stable. *)
 
+val crash_torn_tail : t -> bool
+(** Model a process crash mid-append: the oldest in-flight (submitted,
+    not yet stable) record lands as a torn partial tail, younger in-flight
+    writes are lost, and none of their continuations ever fire.  Returns
+    [true] if a torn record was produced (i.e. a write was in flight). *)
+
 val records : t -> string list
-(** All stable records, oldest first. *)
+(** All intact stable records, oldest first (torn tails excluded). *)
+
+val entries : t -> entry list
+(** All stable records including torn tails, oldest first — what a
+    recovery scan actually reads off the device. *)
 
 val length : t -> int
 val writes : t -> int
 (** Number of durable writes performed (cost accounting). *)
+
+val torn_tails : t -> int
+(** Number of torn partial records ever produced by crashes. *)
 
 val reset : t -> unit
 (** Wipe the log (modelling disk replacement in tests). *)

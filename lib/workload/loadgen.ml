@@ -1,22 +1,32 @@
 (** Closed-loop load generator, ApacheBench-style: [clients] concurrent
     client threads issue [requests] total requests against a target,
-    recording per-request response time in virtual time. *)
+    recording per-request response time in virtual time.
+
+    A request that fails transiently (connection refused everywhere, or
+    EOF mid-request when the primary dies under it) is retried up to
+    [retries] times with a bounded, deterministic linear backoff before it
+    counts as a hard error — so chaos runs measure the system's
+    availability, not the clients' fragility.  Retries are counted
+    separately from errors. *)
 
 module Time = Crane_sim.Time
 module Engine = Crane_sim.Engine
 
 type result = {
   latencies : Time.t list;  (** successful requests, completion order *)
-  errors : int;
+  errors : int;  (** requests that failed even after retries *)
+  retries : int;  (** transient failures that were retried *)
   wall : Time.t;  (** total virtual duration of the run *)
 }
 
 type handle = { collect : unit -> result; finished : unit -> bool }
 
-let run ?(name = "load") ?(think = Time.zero) ~clients ~requests ~request target =
+let run ?(name = "load") ?(think = Time.zero) ?(retries = 0)
+    ?(retry_backoff = Time.ms 50) ~clients ~requests ~request target =
   let remaining = ref requests in
   let latencies = ref [] in
   let errors = ref 0 in
+  let retried = ref 0 in
   let active = ref clients in
   let finished = ref None in
   let eng = target.Target.eng in
@@ -24,13 +34,22 @@ let run ?(name = "load") ?(think = Time.zero) ~clients ~requests ~request target
   for c = 1 to clients do
     Engine.spawn eng ~name:(Printf.sprintf "%s-client%d" name c) (fun () ->
         let from = Printf.sprintf "%s-c%d" name c in
+        let rec attempt ~start tries =
+          match request target ~from with
+          | Some (_ : string) ->
+            latencies := (Engine.now eng - start) :: !latencies
+          | None ->
+            if tries < retries then begin
+              incr retried;
+              Engine.sleep eng (retry_backoff * (tries + 1));
+              attempt ~start (tries + 1)
+            end
+            else incr errors
+        in
         let rec loop () =
           if !remaining > 0 then begin
             decr remaining;
-            let start = Engine.now eng in
-            (match request target ~from with
-            | Some (_ : string) -> latencies := (Engine.now eng - start) :: !latencies
-            | None -> incr errors);
+            attempt ~start:(Engine.now eng) 0;
             if think > 0 then Engine.sleep eng think;
             loop ()
           end
@@ -45,6 +64,7 @@ let run ?(name = "load") ?(think = Time.zero) ~clients ~requests ~request target
         {
           latencies = List.rev !latencies;
           errors = !errors;
+          retries = !retried;
           wall = (match !finished with Some w -> w | None -> Engine.now eng - t0);
         });
     finished = (fun () -> !finished <> None);

@@ -1,0 +1,187 @@
+(* Tests for the deterministic chaos harness: every built-in scenario must
+   pass its invariants, same-seed runs must produce byte-identical
+   reports, and the fault primitives it leans on (torn WAL tails, loadgen
+   retries, output-log suffix comparison) behave as specified. *)
+
+module Time = Crane_sim.Time
+module Engine = Crane_sim.Engine
+module Wal = Crane_storage.Wal
+module Paxos = Crane_paxos.Paxos
+module Instance = Crane_core.Instance
+module Cluster = Crane_core.Cluster
+module Output_log = Crane_core.Output_log
+module Target = Crane_workload.Target
+module Loadgen = Crane_workload.Loadgen
+module Chaos = Crane_chaos.Chaos
+module Ledger = Crane_chaos.Ledger
+
+let violations r =
+  List.filter_map
+    (fun (name, v) -> Option.map (fun d -> name ^ ": " ^ d) v)
+    r.Chaos.invariants
+
+(* Every built-in scenario passes every invariant.  This is the
+   acceptance bar for the harness: each fault kind (crash primary, crash
+   backup, torn WAL, symmetric and asymmetric partition, loss window,
+   latency spike, probabilistic mix) plus the composed
+   partition-heal-crash-restart scenario. *)
+let test_scenario name () =
+  match Chaos.find_scenario name with
+  | None -> Alcotest.failf "unknown scenario %s" name
+  | Some s ->
+    let r = Chaos.run ~seed:13 s in
+    Alcotest.(check (list string))
+      (name ^ " invariants hold") [] (violations r)
+
+(* Two runs with the same seed render byte-identical reports; a different
+   seed must not (jitter shifts the virtual-time stamps). *)
+let test_determinism () =
+  let s = Option.get (Chaos.find_scenario "composed") in
+  let a = Chaos.render_report (Chaos.run ~seed:5 s) in
+  let b = Chaos.render_report (Chaos.run ~seed:5 s) in
+  Alcotest.(check string) "same seed, same bytes" a b;
+  let c = Chaos.render_report (Chaos.run ~seed:6 s) in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+(* The probabilistic schedule is a pure function of the seed too. *)
+let test_random_determinism () =
+  let s = Option.get (Chaos.find_scenario "random") in
+  let a = Chaos.render_report (Chaos.run ~seed:21 s) in
+  let b = Chaos.render_report (Chaos.run ~seed:21 s) in
+  Alcotest.(check string) "random schedule replays" a b
+
+(* A crash mid-append leaves exactly one torn partial tail; intact
+   records survive, in-flight continuations never fire. *)
+let test_wal_torn_tail () =
+  let eng = Engine.create () in
+  let wal = Wal.create eng ~name:"w" in
+  let stable = ref [] in
+  Wal.append_async wal "alpha" (fun () -> stable := "alpha" :: !stable);
+  Engine.run eng;
+  Wal.append_async wal "beta" (fun () -> stable := "beta" :: !stable);
+  Wal.append_async wal "gamma" (fun () -> stable := "gamma" :: !stable);
+  (* crash before the writes complete *)
+  Alcotest.(check bool) "torn tail produced" true (Wal.crash_torn_tail wal);
+  Engine.run eng;
+  Alcotest.(check (list string)) "only alpha stable" [ "alpha" ] (List.rev !stable);
+  Alcotest.(check (list string)) "intact records" [ "alpha" ] (Wal.records wal);
+  (match Wal.entries wal with
+  | [ a; t ] ->
+    Alcotest.(check bool) "first intact" false a.Wal.torn;
+    Alcotest.(check bool) "tail torn" true t.Wal.torn;
+    Alcotest.(check string) "tail is a beta prefix" (String.sub "beta" 0 2) t.Wal.data
+  | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l));
+  Alcotest.(check bool) "no second tail without inflight writes" false
+    (Wal.crash_torn_tail wal)
+
+(* End-to-end torn-tail recovery: crash the primary mid-append, restart
+   it, and check recovery discarded the torn record, clamped to the
+   stable prefix, and refilled the gap through catch-up. *)
+let test_torn_recovery_refill () =
+  let cluster =
+    Cluster.create ~seed:17 ~cfg:Chaos.chaos_config ~server:Ledger.server ()
+  in
+  Cluster.start cluster;
+  let eng = Cluster.engine cluster in
+  Cluster.run ~until:(Time.ms 200) cluster;
+  let target = Target.cluster cluster ~port:80 in
+  let ledger = Ledger.client () in
+  let handle =
+    Loadgen.run ~name:"load" ~think:(Time.ms 20) ~retries:6
+      ~retry_backoff:(Time.ms 100) ~clients:2 ~requests:40
+      ~request:(Ledger.request ledger) target
+  in
+  Engine.at eng (Time.ms 600) (fun () ->
+      (* Make sure an append is mid-flight at the crash instant so the
+         crash deterministically leaves a torn tail (the WAL write window
+         is only 15us wide otherwise). *)
+      Wal.append_async (Hashtbl.find cluster.Cluster.wals "replica1") "mid-write"
+        (fun () -> ());
+      Cluster.kill ~wal_torn:true cluster "replica1");
+  Engine.at eng (Time.ms 1800) (fun () -> ignore (Cluster.restart cluster "replica1"));
+  Loadgen.drive ~timeout:(Time.sec 60) target handle;
+  Cluster.run ~until:(Engine.now eng + Time.sec 3) cluster;
+  Cluster.check_failures cluster;
+  let r1 =
+    match Cluster.instance cluster "replica1" with
+    | Some i -> i
+    | None -> Alcotest.fail "replica1 did not restart"
+  in
+  let p1 = r1.Instance.paxos in
+  Alcotest.(check bool) "torn record discarded" true (Paxos.wal_torn_discarded p1 >= 1);
+  Alcotest.(check bool) "catch-up refilled the gap" true (Paxos.catchup_installed p1 > 0);
+  let committed = List.map (fun (_, i) -> Paxos.committed i.Instance.paxos)
+      (Cluster.instances cluster) in
+  (match committed with
+  | c :: rest -> List.iter (Alcotest.(check int) "committed converged" c) rest
+  | [] -> Alcotest.fail "no instances");
+  let r = handle.Loadgen.collect () in
+  Alcotest.(check int) "no hard client errors" 0 r.Loadgen.errors
+
+(* Loadgen retry accounting: transient failures are retried with
+   deterministic backoff and counted separately from hard errors. *)
+let test_loadgen_retries () =
+  let eng = Engine.create () in
+  let fabric = Crane_net.Fabric.create eng (Crane_sim.Rng.create 3) in
+  let target =
+    { Target.eng; world = Crane_socket.Sock.world fabric; port = 0;
+      pick_node = (fun () -> "x"); fallbacks = [ "x" ] }
+  in
+  (* fails twice, then succeeds — per request *)
+  let tries = Hashtbl.create 8 in
+  let flaky _target ~from =
+    let n = try Hashtbl.find tries from with Not_found -> 0 in
+    Hashtbl.replace tries from (n + 1);
+    if n mod 3 < 2 then None else Some "ok"
+  in
+  let h = Loadgen.run ~retries:3 ~retry_backoff:(Time.ms 10) ~clients:1 ~requests:4
+      ~request:flaky target in
+  Engine.run eng;
+  let r = h.Loadgen.collect () in
+  Alcotest.(check int) "all succeed after retries" 4 (List.length r.Loadgen.latencies);
+  Alcotest.(check int) "retries counted" 8 r.Loadgen.retries;
+  Alcotest.(check int) "no hard errors" 0 r.Loadgen.errors;
+  (* without retries the same flakiness is a hard error *)
+  Hashtbl.reset tries;
+  let h0 = Loadgen.run ~clients:1 ~requests:3 ~request:flaky target in
+  Engine.run eng;
+  let r0 = h0.Loadgen.collect () in
+  Alcotest.(check int) "hard errors without retries" 2 r0.Loadgen.errors;
+  Alcotest.(check int) "no retries by default" 0 r0.Loadgen.retries
+
+(* Output_log.is_suffix: the restarted-replica comparison. *)
+let test_output_suffix () =
+  let full = Output_log.create () and tail = Output_log.create () in
+  Output_log.record full ~conn:1 "a";
+  Output_log.record full ~conn:1 "b";
+  Output_log.record full ~conn:2 "c";
+  Output_log.record tail ~conn:1 "b";
+  Output_log.record tail ~conn:2 "c";
+  Alcotest.(check bool) "tail is a suffix" true (Output_log.is_suffix ~of_:full tail);
+  Alcotest.(check bool) "full is not a suffix of tail" false
+    (Output_log.is_suffix ~of_:tail full);
+  Alcotest.(check bool) "equal logs are suffixes" true
+    (Output_log.is_suffix ~of_:full full);
+  let diverged = Output_log.create () in
+  Output_log.record diverged ~conn:1 "b";
+  Output_log.record diverged ~conn:2 "X";
+  Alcotest.(check bool) "diverged tail rejected" false
+    (Output_log.is_suffix ~of_:full diverged)
+
+let suite =
+  [
+    ( "chaos",
+      List.map
+        (fun s -> Alcotest.test_case s.Chaos.name `Slow (test_scenario s.Chaos.name))
+        Chaos.scenarios
+      @ [
+          Alcotest.test_case "same-seed reports byte-identical" `Slow test_determinism;
+          Alcotest.test_case "probabilistic schedule deterministic" `Slow
+            test_random_determinism;
+          Alcotest.test_case "wal torn tail" `Quick test_wal_torn_tail;
+          Alcotest.test_case "torn-tail recovery + catch-up refill" `Slow
+            test_torn_recovery_refill;
+          Alcotest.test_case "loadgen retry accounting" `Quick test_loadgen_retries;
+          Alcotest.test_case "output-log suffix" `Quick test_output_suffix;
+        ] );
+  ]

@@ -52,6 +52,26 @@ let test_fabric_partition () =
   Engine.run eng;
   Alcotest.(check int) "heal restores" 1 !got
 
+(* A one-way partition blocks one direction only — the asymmetric failure
+   of paper §7.6 where a primary keeps sending heartbeats that backups
+   receive while their replies are dropped. *)
+let test_fabric_partition_oneway () =
+  let eng, fabric = setup () in
+  let at_a = ref 0 and at_b = ref 0 in
+  Fabric.bind fabric (ep "a" 7) (fun ~src:_ _ -> incr at_a);
+  Fabric.bind fabric (ep "b" 7) (fun ~src:_ _ -> incr at_b);
+  Fabric.partition_oneway fabric ~from:[ "a" ] ~to_:[ "b" ];
+  Fabric.send fabric ~src:(ep "a" 1) ~dst:(ep "b" 7) (Ping 0);
+  Fabric.send fabric ~src:(ep "b" 1) ~dst:(ep "a" 7) (Ping 0);
+  Engine.run eng;
+  Alcotest.(check int) "a->b blocked" 0 !at_b;
+  Alcotest.(check int) "b->a still delivers" 1 !at_a;
+  Alcotest.(check int) "one active partition" 1 (Fabric.partitions fabric);
+  Fabric.heal fabric;
+  Fabric.send fabric ~src:(ep "a" 1) ~dst:(ep "b" 7) (Ping 0);
+  Engine.run eng;
+  Alcotest.(check int) "heal restores a->b" 1 !at_b
+
 let test_fabric_node_down () =
   let eng, fabric = setup () in
   let got = ref 0 in
@@ -304,6 +324,7 @@ let suite =
         Alcotest.test_case "delivery + fifo" `Quick test_fabric_delivery;
         Alcotest.test_case "latency" `Quick test_fabric_latency_positive;
         Alcotest.test_case "partition" `Quick test_fabric_partition;
+        Alcotest.test_case "one-way partition" `Quick test_fabric_partition_oneway;
         Alcotest.test_case "node down" `Quick test_fabric_node_down;
         Alcotest.test_case "loss" `Quick test_fabric_loss;
         qcheck prop_fabric_fifo_per_link;
