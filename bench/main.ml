@@ -316,7 +316,7 @@ let run_recovery specs =
     let r = handle.Loadgen.collect () in
     let election =
       match Cluster.primary cluster with
-      | Some (_, p) -> Paxos.last_election_duration p.Instance.paxos
+      | Some (_, p) -> (Paxos.stats p.Instance.paxos).Paxos.last_election_duration
       | None -> None
     in
     Table.print ~title:"Sec 7.6: replica failure and recovery (Mongoose)"

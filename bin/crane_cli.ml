@@ -14,6 +14,7 @@ module Cluster = Crane_core.Cluster
 module Standalone = Crane_core.Standalone
 module Output_log = Crane_core.Output_log
 module Paxos = Crane_paxos.Paxos
+module Sock = Crane_socket.Sock
 module Target = Crane_workload.Target
 module Clients = Crane_workload.Clients
 module Loadgen = Crane_workload.Loadgen
@@ -127,7 +128,7 @@ let failover_cmd choice seed =
   (match Cluster.primary cluster with
   | Some (n, p) ->
     Printf.printf "primary now: %s (view %d)%s\n" n (Paxos.view p.Instance.paxos)
-      (match Paxos.last_election_duration p.Instance.paxos with
+      (match (Paxos.stats p.Instance.paxos).Paxos.last_election_duration with
       | Some d -> Printf.sprintf ", election took %s" (Time.to_string d)
       | None -> "")
   | None -> print_endline "no primary!");
@@ -242,6 +243,216 @@ let chaos_cmd scenario seed list =
       1
     end
 
+(* ---- bench: batched vs. unbatched commit throughput ---- *)
+
+module Wal = Crane_storage.Wal
+
+type bench_run = {
+  b_commits : int;  (** consensus decisions on the primary *)
+  b_wall : Time.t;
+  b_sent : int;  (** socket-call events the clients injected *)
+  b_wal_writes : int;  (** durable writes on the primary's WAL *)
+  b_batches : int;
+  b_mean_batch : float;
+}
+
+let commits_per_sec r =
+  if r.b_wall <= 0 then 0.0
+  else float_of_int r.b_commits /. (Time.to_float_ms r.b_wall /. 1000.)
+
+(* One measured configuration: a 3-replica Paxos_only cluster (the
+   consensus pipeline without DMT overhead) under an open-loop streaming
+   workload — [clients] connections each inject a small request event
+   every 100 us for [duration], without waiting for responses.  That
+   arrival rate (16 clients -> ~160k events/s) saturates the unbatched
+   commit path, whose ceiling is one 15 us WAL fsync per event (~66k/s);
+   commit throughput is the primary's decided index at the cutoff
+   instant over the streaming window. *)
+let bench_run choice ~batch_max ~clients ~duration ~seed =
+  let server, port = server_of choice in
+  let cfg =
+    { Instance.default_config with mode = Instance.Paxos_only;
+      service_port = port; paxos = fast_paxos; batch_max }
+  in
+  let cluster = Cluster.create ~seed ~cfg ~server () in
+  Cluster.start ~checkpoints:false cluster;
+  let eng = Cluster.engine cluster in
+  let world = Cluster.world cluster in
+  let start = Time.ms 10 in
+  let spacing = Time.us 100 in
+  let sent = ref 0 in
+  for i = 1 to clients do
+    Engine.spawn eng ~name:(Printf.sprintf "stream%d" i) (fun () ->
+        (* Staggered starts de-synchronize the streams. *)
+        Engine.sleep eng (start + Time.us (7 * i));
+        match Sock.connect world ~from:(Printf.sprintf "c%d" i) ~node:"replica1" ~port with
+        | exception _ -> ()
+        | conn ->
+          incr sent;
+          (try
+             while Engine.now eng < start + duration do
+               Sock.send conn (Printf.sprintf "req-%d" i);
+               incr sent;
+               Engine.sleep eng spacing
+             done
+           with _ -> ()))
+  done;
+  Cluster.run ~until:(start + duration) cluster;
+  Cluster.check_failures cluster;
+  let commits, batches, mean_batch =
+    match Cluster.primary cluster with
+    | Some (_, inst) ->
+      let s = Paxos.stats inst.Instance.paxos in
+      let events, n =
+        List.fold_left
+          (fun (ev, n) (size, count) -> (ev + (size * count), n + count))
+          (0, 0) s.Paxos.events_per_batch
+      in
+      ( Paxos.committed inst.Instance.paxos, s.Paxos.batches_committed,
+        if n = 0 then 0.0 else float_of_int events /. float_of_int n )
+    | None -> (0, 0, 0.0)
+  in
+  {
+    b_commits = commits;
+    b_wall = duration;
+    b_sent = !sent;
+    b_wal_writes = Wal.writes (Hashtbl.find cluster.Cluster.wals "replica1");
+    b_batches = batches;
+    b_mean_batch = mean_batch;
+  }
+
+(* Fixed-seed equivalence probe: a sequential client (no response-latency
+   races, so event arrival order cannot depend on commit timing) against
+   the same seed, batched and unbatched — the replica output logs must
+   render byte-identically. *)
+let bench_equivalence choice ~seed ~requests =
+  let render batch_max =
+    let server, port = server_of choice in
+    let rng = Rng.create (seed + 1) in
+    let request = request_of choice rng in
+    let cfg =
+      { Instance.default_config with mode = Instance.Paxos_only;
+        service_port = port; paxos = fast_paxos; batch_max }
+    in
+    let cluster = Cluster.create ~seed ~cfg ~server () in
+    Cluster.start ~checkpoints:false cluster;
+    let target = Target.cluster cluster ~port in
+    let handle = Loadgen.run ~clients:1 ~requests ~request target in
+    Loadgen.drive ~timeout:(Time.sec 3600) target handle;
+    Cluster.check_failures cluster;
+    match Cluster.outputs cluster with
+    | (_, o) :: _ -> Output_log.render o
+    | [] -> ""
+  in
+  let a = render 1 and b = render 64 in
+  a <> "" && String.equal a b
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let bench_run_json (r : bench_run) =
+  Printf.sprintf
+    "{\"commits\": %d, \"wall_ms\": %.3f, \"commits_per_sec\": %.0f, \
+     \"events_sent\": %d, \"wal_writes\": %d, \"batches_committed\": %d, \
+     \"mean_events_per_batch\": %.2f}"
+    r.b_commits (Time.to_float_ms r.b_wall) (commits_per_sec r) r.b_sent
+    r.b_wal_writes r.b_batches r.b_mean_batch
+
+let bench_cmd quick seed out check servers =
+  let chosen =
+    match servers with
+    | [] -> all_servers
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n all_servers with
+          | Some c -> (n, c)
+          | None ->
+            Printf.eprintf "crane: unknown server %s\n" n;
+            exit 2)
+        names
+  in
+  let clients = 16 in
+  let duration = if quick then Time.ms 200 else Time.sec 1 in
+  let eq_requests = if quick then 12 else 32 in
+  let results =
+    List.map
+      (fun (name, choice) ->
+        Printf.printf "bench %s: unbatched..." name;
+        flush stdout;
+        let u = bench_run choice ~batch_max:1 ~clients ~duration ~seed in
+        Printf.printf " batched...";
+        flush stdout;
+        let b = bench_run choice ~batch_max:64 ~clients ~duration ~seed in
+        Printf.printf " equivalence...";
+        flush stdout;
+        let identical = bench_equivalence choice ~seed ~requests:eq_requests in
+        let speedup =
+          if commits_per_sec u > 0.0 then commits_per_sec b /. commits_per_sec u
+          else 0.0
+        in
+        Printf.printf " %.2fx%s\n" speedup (if identical then "" else " (OUTPUTS DIVERGE)");
+        (name, u, b, speedup, identical))
+      chosen
+  in
+  Table.print ~title:"batching bench (16 clients, paxos-only cluster)"
+    ~header:[ "server"; "unbatched c/s"; "batched c/s"; "speedup";
+              "mean batch"; "fsyncs saved"; "identical" ]
+    (List.map
+       (fun (name, u, b, speedup, identical) ->
+         [ name;
+           Printf.sprintf "%.0f" (commits_per_sec u);
+           Printf.sprintf "%.0f" (commits_per_sec b);
+           Printf.sprintf "%.2fx" speedup;
+           Printf.sprintf "%.1f" b.b_mean_batch;
+           Printf.sprintf "%d" (u.b_wal_writes - b.b_wal_writes);
+           string_of_bool identical ])
+       results);
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"batching\",\n  \"seed\": %d,\n  \"mode\": \"paxos-only\",\n  \
+       \"clients\": %d,\n  \"stream_ms\": %.0f,\n  \"results\": [\n%s\n  ]\n}\n"
+      seed clients (Time.to_float_ms duration)
+      (String.concat ",\n"
+         (List.map
+            (fun (name, u, b, speedup, identical) ->
+              Printf.sprintf
+                "    {\"server\": \"%s\", \"unbatched\": %s, \"batched\": %s, \
+                 \"speedup\": %.2f, \"fixed_seed_outputs_identical\": %b}"
+                (json_escape name) (bench_run_json u) (bench_run_json b) speedup
+                identical)
+            results))
+  in
+  (match open_out out with
+  | oc ->
+    output_string oc json;
+    close_out oc;
+    Printf.printf "wrote %s\n" out
+  | exception Sys_error msg ->
+    Printf.eprintf "crane: cannot write %s: %s\n" out msg;
+    exit 1);
+  let worst_speedup =
+    List.fold_left (fun acc (_, _, _, s, _) -> min acc s) infinity results
+  in
+  let all_identical = List.for_all (fun (_, _, _, _, i) -> i) results in
+  if check > 0.0 && (worst_speedup < check || not all_identical) then begin
+    Printf.printf
+      "FAIL: worst speedup %.2fx (required %.2fx), outputs identical: %b\n"
+      worst_speedup check all_identical;
+    1
+  end
+  else 0
+
 let servers_cmd () =
   print_endline "available servers:";
   List.iter (fun (n, _) -> Printf.printf "  %s\n" n) all_servers;
@@ -277,11 +488,32 @@ let scenario_arg =
 let list_arg =
   Arg.(value & flag & info [ "list" ] ~doc:"List built-in chaos scenarios and exit.")
 
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller workload for CI (96 requests per run).")
+
+let bench_out_arg =
+  Arg.(value & opt string "BENCH_batching.json"
+       & info [ "out"; "o" ] ~doc:"Benchmark JSON output file.")
+
+let check_arg =
+  Arg.(value & opt float 0.0
+       & info [ "check" ]
+           ~doc:"Exit nonzero unless every server's batched/unbatched speedup \
+                 reaches this factor and fixed-seed outputs are identical.")
+
+let bench_servers_arg =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"SERVER" ~doc:"Servers to bench (default: all).")
+
 let run_term = Term.(const run_cmd $ server_arg $ mode_arg $ clients_arg $ requests_arg $ seed_arg)
 let failover_term = Term.(const failover_cmd $ server_arg $ seed_arg)
 let servers_term = Term.(const servers_cmd $ const ())
 
 let chaos_term = Term.(const chaos_cmd $ scenario_arg $ seed_arg $ list_arg)
+
+let bench_term =
+  Term.(const bench_cmd $ quick_arg $ seed_arg $ bench_out_arg $ check_arg
+        $ bench_servers_arg)
 
 let trace_term =
   Term.(const trace_cmd $ server_arg $ mode_arg $ clients_arg $ requests_arg
@@ -293,6 +525,7 @@ let cmds =
     Cmd.v (Cmd.info "failover" ~doc:"Kill the primary under load, recover from a checkpoint.") failover_term;
     Cmd.v (Cmd.info "chaos" ~doc:"Run the deterministic fault-injection suite and check SMR invariants.") chaos_term;
     Cmd.v (Cmd.info "trace" ~doc:"Run a workload with the flight recorder on; export the trace and metrics.") trace_term;
+    Cmd.v (Cmd.info "bench" ~doc:"Measure batched vs. unbatched commit throughput; write BENCH_batching.json.") bench_term;
     Cmd.v (Cmd.info "servers" ~doc:"List available servers and modes.") servers_term;
   ]
 

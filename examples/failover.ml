@@ -79,7 +79,7 @@ let () =
       Printf.printf "  %s: view=%d committed=%d%s%s\n" node (Paxos.view p)
         (Paxos.committed p)
         (if Paxos.is_primary p then " [primary]" else " [backup]")
-        (match Paxos.last_election_duration p with
+        (match (Paxos.stats p).Paxos.last_election_duration with
         | Some d -> Printf.sprintf "  (won election in %s)" (Time.to_string d)
         | None -> ""))
     (Cluster.instances cluster);

@@ -343,7 +343,7 @@ let sample d =
             e_at = Engine.now d.eng;
             winner = node;
             e_view = Paxos.view px;
-            e_duration = Paxos.last_election_duration px;
+            e_duration = (Paxos.stats px).Paxos.last_election_duration;
           }
           :: d.elections
       end)
@@ -565,9 +565,9 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
     r_seed = seed;
     injected = List.rev d.injected;
     elections = List.rev d.elections;
-    r_abdications = sum Paxos.abdications;
-    r_catchup_installed = sum Paxos.catchup_installed;
-    r_torn_discarded = sum Paxos.wal_torn_discarded;
+    r_abdications = sum (fun p -> (Paxos.stats p).Paxos.abdications);
+    r_catchup_installed = sum (fun p -> (Paxos.stats p).Paxos.catchup_installed);
+    r_torn_discarded = sum (fun p -> (Paxos.stats p).Paxos.wal_torn_discarded);
     r_acked = Ledger.acked_count ledger;
     r_ok = List.length load.Loadgen.latencies;
     r_errors = load.Loadgen.errors;

@@ -32,6 +32,12 @@ type config = {
   idle_period : Time.t;
   pthread_cost : Pthread.cost;
   paxos : Paxos.config;
+  batch_max : int;
+      (** proxy batching: flush a pending batch at this many events
+          (1 = batching off, the pre-batching commit path) *)
+  batch_delay : Time.t;
+      (** proxy batching: flush a non-full pending batch after this much
+          virtual time *)
   checkpoint_period : Time.t;
   container_stop : Time.t;  (** LXC stop cost (daemon-dependent, §5.2) *)
   container_start : Time.t;  (** LXC start cost *)
@@ -49,6 +55,8 @@ let default_config =
     idle_period = Time.us 10;
     pthread_cost = Pthread.default_cost;
     paxos = Paxos.default_config;
+    batch_max = 64;
+    batch_delay = Time.us 100;
     checkpoint_period = Time.sec 60;
     container_stop = Time.ms 1200;
     container_start = Time.ms 2200;
@@ -117,7 +125,7 @@ let boot ~eng ~fabric ~world ~rng ~wal ~members ~node ~(cfg : config) ~(server :
   let vhost = Vhost.create ~node eng ~cfg:(vhost_config cfg) ~clocking in
   let proxy =
     Proxy.create ~eng ~node ~world ~port:cfg.service_port ~paxos ~vhost ~group
-      ~skip_upto ()
+      ~skip_upto ~batch_max:cfg.batch_max ~batch_delay:cfg.batch_delay ()
   in
   let runtime =
     match (cfg.mode, dmt) with

@@ -21,6 +21,9 @@ type t = {
   mutable calls : int; (* client socket-call entries appended *)
   mutable bubbles : int; (* time-bubble entries appended *)
   mutable queued_calls : int; (* client calls delivered but not yet consumed *)
+  mutable max_depth : int;
+      (* High-water mark of the queue: batched consensus delivers commits
+         in bursts, and this records how deep the burst backlog got. *)
 }
 
 let create ?(node = "") eng =
@@ -33,10 +36,12 @@ let create ?(node = "") eng =
     calls = 0;
     bubbles = 0;
     queued_calls = 0;
+    max_depth = 0;
   }
 
 let append t ev =
   Queue.add ev t.q;
+  if Queue.length t.q > t.max_depth then t.max_depth <- Queue.length t.q;
   t.last_nonempty <- Engine.now t.eng;
   (let tr = Engine.trace t.eng in
    if Trace.enabled tr then
@@ -99,6 +104,7 @@ let drain_bubble_upto t n =
   else invalid_arg "Paxos_seq.drain_bubble_upto: head is not a bubble"
 
 let length t = Queue.length t.q + if t.bubble_left > 0 then 1 else 0
+let max_depth t = t.max_depth
 let queued_calls t = t.queued_calls
 let calls t = t.calls
 let bubbles t = t.bubbles

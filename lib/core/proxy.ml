@@ -30,13 +30,67 @@ type t = {
   client_conns : (int, Sock.conn) Hashtbl.t;
   orphans_closed : (int, unit) Hashtbl.t;
   mutable skip_upto : int; (* decisions already captured by a restored checkpoint *)
+  (* Batching (group commit): concurrently-arriving events accumulate
+     here and are proposed as one consensus round.  Arrival order is
+     preserved, so the decision sequence is exactly the unbatched one. *)
+  batch_max : int;
+  batch_delay : Time.t;
+  buf : string Queue.t; (* encoded events awaiting flush, arrival order *)
+  mutable flush_scheduled : bool;
   mutable bubbles_proposed : int;
   mutable calls_proposed : int;
+  mutable batches_flushed : int;
   mutable stopped : bool;
 }
 
+type stats = {
+  bubbles_proposed : int;
+  calls_proposed : int;
+  client_count : int;
+  batches_flushed : int;
+}
+
+(* Propose everything buffered as one batch: one Accept broadcast and one
+   group-commit fsync for the lot.  If primaryship was lost since the
+   events were buffered the batch is shed — the same client-visible
+   outcome as an unbatched submit refusing mid-stream (clients are shed by
+   on_demote and retry against the new primary). *)
+let flush t =
+  if not (Queue.is_empty t.buf) then begin
+    let events = List.of_seq (Queue.to_seq t.buf) in
+    Queue.clear t.buf;
+    t.batches_flushed <- t.batches_flushed + 1;
+    let tr = Engine.trace t.eng in
+    if Trace.enabled tr then
+      Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+        ~node:t.node ~cat:"proxy" ~name:"batch_flush"
+        [ ("events", Trace.Int (List.length events)) ];
+    ignore (Paxos.submit_batch t.paxos events)
+  end
+
+let schedule_flush t =
+  if not t.flush_scheduled then begin
+    t.flush_scheduled <- true;
+    Engine.after t.eng ~group:t.group t.batch_delay (fun () ->
+        t.flush_scheduled <- false;
+        if not t.stopped then flush t)
+  end
+
 let submit t ev =
-  let accepted = Paxos.submit t.paxos (Event.encode ev) in
+  let accepted =
+    if t.batch_max <= 1 then Paxos.submit t.paxos (Event.encode ev)
+    else if not (Paxos.is_primary t.paxos) then false
+    else begin
+      Queue.add (Event.encode ev) t.buf;
+      (* Bubbles flush immediately: they are only requested during
+         quiescence (nothing to amortize them with), and holding one back
+         batch_delay would just stall the gate it is meant to unblock.
+         Flushing the buffer keeps arrival order intact. *)
+      if Event.is_bubble ev || Queue.length t.buf >= t.batch_max then flush t
+      else schedule_flush t;
+      true
+    end
+  in
   (if accepted then begin
      if Event.is_bubble ev then t.bubbles_proposed <- t.bubbles_proposed + 1
      else t.calls_proposed <- t.calls_proposed + 1;
@@ -119,10 +173,13 @@ let close_orphans t =
 
 let rec orphan_monitor t =
   Engine.after t.eng ~group:t.group (Time.ms 100) (fun () ->
-      close_orphans t;
-      orphan_monitor t)
+      if not t.stopped then begin
+        close_orphans t;
+        orphan_monitor t
+      end)
 
-let create ~eng ~node ~world ~port ~paxos ~vhost ~group ~skip_upto () =
+let create ~eng ~node ~world ~port ~paxos ~vhost ~group ~skip_upto
+    ?(batch_max = 1) ?(batch_delay = Time.us 100) () =
   let t =
     {
       eng;
@@ -135,47 +192,70 @@ let create ~eng ~node ~world ~port ~paxos ~vhost ~group ~skip_upto () =
       client_conns = Hashtbl.create 64;
       orphans_closed = Hashtbl.create 64;
       skip_upto;
+      batch_max;
+      batch_delay;
+      buf = Queue.create ();
+      flush_scheduled = false;
       bubbles_proposed = 0;
       calls_proposed = 0;
+      batches_flushed = 0;
       stopped = false;
     }
   in
-  (* Server -> client path. *)
-  Vhost.set_respond vhost (fun ~conn payload ->
-      if Paxos.is_primary t.paxos then
-        match Hashtbl.find_opt t.client_conns conn with
-        | Some c -> ( try Sock.send c payload with Sock.Connection_closed -> ())
-        | None -> ());
-  Vhost.set_on_server_close vhost (fun conn ->
-      if Paxos.is_primary t.paxos then
-        match Hashtbl.find_opt t.client_conns conn with
-        | Some c ->
-          Hashtbl.remove t.client_conns conn;
-          Sock.close c
-        | None -> ());
-  (* DMT -> consensus path for time bubbles (Figure 13).  Backpressure:
-     the gate re-requests every wtimeout while the sequence stays empty,
-     so if commits stall (lossy network, lost quorum contact) an
-     unthrottled loop would append ~10k junk bubbles per virtual second
-     that every replica must later commit and drain.  Skip the request
-     when the pipeline is already deep; bubbling resumes as soon as the
-     backlog commits. *)
-  Vhost.set_request_bubble vhost (fun () ->
-      if Paxos.is_primary t.paxos && Paxos.pending t.paxos < 32 then
-        ignore (submit t (Event.Time_bubble { nclock = Vhost.nclock vhost })));
-  (* Consensus -> server path, in decision order. *)
-  Paxos.on_commit paxos (fun ~index value ->
-      if index > t.skip_upto then Vhost.deliver vhost (Event.decode value));
-  (* Deposed or abdicated: shed every attached client immediately so they
-     see EOF and retry against the new primary, instead of waiting out a
-     recv timeout on a node that can no longer commit their requests. *)
-  Paxos.on_demote paxos (fun () ->
-      let shed = Hashtbl.fold (fun id c acc -> (id, c) :: acc) t.client_conns [] in
-      List.iter
-        (fun (id, c) ->
-          Hashtbl.remove t.client_conns id;
-          Sock.close c)
-        (List.sort (fun (a, _) (b, _) -> compare a b) shed));
+  Vhost.set_handlers vhost
+    {
+      (* Server -> client path. *)
+      Vhost.respond =
+        (fun ~conn payload ->
+          if Paxos.is_primary t.paxos then
+            match Hashtbl.find_opt t.client_conns conn with
+            | Some c -> ( try Sock.send c payload with Sock.Connection_closed -> ())
+            | None -> ());
+      on_server_close =
+        (fun conn ->
+          if Paxos.is_primary t.paxos then
+            match Hashtbl.find_opt t.client_conns conn with
+            | Some c ->
+              Hashtbl.remove t.client_conns conn;
+              Sock.close c
+            | None -> ());
+      (* DMT -> consensus path for time bubbles (Figure 13).  Backpressure:
+         the gate re-requests every wtimeout while the sequence stays empty,
+         so if commits stall (lossy network, lost quorum contact) an
+         unthrottled loop would append ~10k junk bubbles per virtual second
+         that every replica must later commit and drain.  Skip the request
+         when the pipeline is already deep; bubbling resumes as soon as the
+         backlog commits.  Buffered-but-unflushed events count toward the
+         depth. *)
+      request_bubble =
+        (fun () ->
+          if
+            Paxos.is_primary t.paxos
+            && (Paxos.stats t.paxos).Paxos.pending + Queue.length t.buf < 32
+          then ignore (submit t (Event.Time_bubble { nclock = Vhost.nclock vhost })));
+    };
+  Paxos.set_handlers paxos
+    {
+      (* Consensus -> server path, in decision order (batches arrive
+         unpacked, one callback per entry). *)
+      Paxos.on_commit =
+        (fun ~index value ->
+          if index > t.skip_upto then Vhost.deliver vhost (Event.decode value));
+      (* Deposed or abdicated: shed every attached client immediately so
+         they see EOF and retry against the new primary, instead of
+         waiting out a recv timeout on a node that can no longer commit
+         their requests.  Buffered events are shed with them — they could
+         no longer be proposed anyway. *)
+      on_demote =
+        (fun () ->
+          Queue.clear t.buf;
+          let shed = Hashtbl.fold (fun id c acc -> (id, c) :: acc) t.client_conns [] in
+          List.iter
+            (fun (id, c) ->
+              Hashtbl.remove t.client_conns id;
+              Sock.close c)
+            (List.sort (fun (a, _) (b, _) -> compare a b) shed));
+    };
   (* Client -> consensus path. *)
   let listener = Sock.listen world ~node ~port in
   Engine.on_kill eng group (fun () -> Sock.close_listener listener);
@@ -184,7 +264,14 @@ let create ~eng ~node ~world ~port ~paxos ~vhost ~group ~skip_upto () =
   orphan_monitor t;
   t
 
-let stop t = t.stopped <- true
-let bubbles_proposed t = t.bubbles_proposed
-let calls_proposed t = t.calls_proposed
-let client_count t = Hashtbl.length t.client_conns
+let stop t =
+  t.stopped <- true;
+  Queue.clear t.buf
+
+let stats (t : t) : stats =
+  {
+    bubbles_proposed = t.bubbles_proposed;
+    calls_proposed = t.calls_proposed;
+    client_count = Hashtbl.length t.client_conns;
+    batches_flushed = t.batches_flushed;
+  }

@@ -52,6 +52,22 @@ type vlistener = {
 
 type clocking = Clocked of Dmt.t | Immediate
 
+(** Callbacks into the proxy, registered atomically (the old per-callback
+    setters were order-sensitive: a component could run with a
+    half-registered set). *)
+type handlers = {
+  respond : conn:int -> string -> unit;
+  on_server_close : int -> unit;
+  request_bubble : unit -> unit;
+}
+
+let null_handlers =
+  {
+    respond = (fun ~conn:_ _ -> ());
+    on_server_close = (fun _ -> ());
+    request_bubble = (fun () -> ());
+  }
+
 type t = {
   eng : Engine.t;
   cfg : config;
@@ -61,9 +77,7 @@ type t = {
   conns : (int, vconn) Hashtbl.t;
   listeners : (int, vlistener) Hashtbl.t;
   output : Output_log.t;
-  mutable respond : conn:int -> string -> unit;
-  mutable on_server_close : int -> unit;
-  mutable request_bubble : unit -> unit;
+  mutable handlers : handlers;
   mutable last_bubble_request : Time.t;
   mutable stopped : bool;
   mutable open_conns : int;
@@ -129,7 +143,7 @@ let gate t =
         && now - t.last_bubble_request >= t.cfg.wtimeout
       then begin
         t.last_bubble_request <- now;
-        t.request_bubble ()
+        t.handlers.request_bubble ()
       end;
       Engine.sleep t.eng t.cfg.usleep
     done;
@@ -207,9 +221,7 @@ let create ?(node = "") eng ~cfg ~clocking =
       conns = Hashtbl.create 64;
       listeners = Hashtbl.create 4;
       output = Output_log.create ();
-      respond = (fun ~conn:_ _ -> ());
-      on_server_close = (fun _ -> ());
-      request_bubble = (fun () -> ());
+      handlers = null_handlers;
       last_bubble_request = Time.zero;
       stopped = false;
       open_conns = 0;
@@ -382,7 +394,7 @@ let recv t (c : vconn) ~max =
 let send t (c : vconn) payload =
   let deliver () =
     Output_log.record t.output ~conn:c.vid payload;
-    if not c.vclosed then t.respond ~conn:c.vid payload
+    if not c.vclosed then t.handlers.respond ~conn:c.vid payload
   in
   match t.clocking with
   | Clocked dmt ->
@@ -397,7 +409,7 @@ let close t (c : vconn) =
     if not c.vclosed then begin
       c.vclosed <- true;
       t.open_conns <- t.open_conns - 1;
-      t.on_server_close c.vid
+      t.handlers.on_server_close c.vid
     end
   in
   match t.clocking with
@@ -419,7 +431,5 @@ let admitted t = t.admitted
 
 let gate_stats t = (t.bulk_drains, t.delta_drained, t.gate_blocks, t.gate_block_time)
 
-let set_respond t f = t.respond <- f
-let set_on_server_close t f = t.on_server_close <- f
-let set_request_bubble t f = t.request_bubble <- f
+let set_handlers t handlers = t.handlers <- handlers
 let nclock t = t.cfg.nclock

@@ -12,6 +12,15 @@ type message = ..
 type t = {
   eng : Engine.t;
   rng : Rng.t;
+  (* Jitter/loss draws come from a per-link stream derived from
+     [link_seed], not from the shared [rng]: with one shared stream, a
+     change in the {e number} of messages on one link (e.g. batching
+     collapsing N Accepts into one) would shift every later draw and
+     perturb latencies on unrelated links, breaking fixed-seed
+     comparisons across configurations.  The per-link seed depends only
+     on (seed, src, dst), never on creation order. *)
+  link_seed : int;
+  link_rngs : (node * node, Rng.t) Hashtbl.t;
   mutable base : Time.t;
   mutable jitter : Time.t;
   mutable loss : float;
@@ -30,7 +39,9 @@ type t = {
 let create eng rng =
   {
     eng;
+    link_seed = Int64.to_int (Rng.next rng);
     rng;
+    link_rngs = Hashtbl.create 64;
     base = Time.us 40;
     jitter = Time.us 20;
     loss = 0.0;
@@ -70,18 +81,28 @@ let bind t ep handler =
 
 let unbind t ep = Hashtbl.remove t.handlers (ep.node, ep.port)
 
-let sample_delay t =
-  let j = if t.jitter > 0 then Rng.int t.rng t.jitter else 0 in
+let link_rng t link =
+  match Hashtbl.find_opt t.link_rngs link with
+  | Some r -> r
+  | None ->
+    let src, dst = link in
+    let r = Rng.create (Hashtbl.hash (t.link_seed, src, dst)) in
+    Hashtbl.replace t.link_rngs link r;
+    r
+
+let sample_delay t rng =
+  let j = if t.jitter > 0 then Rng.int rng t.jitter else 0 in
   t.base + j
 
 let send t ~src ~dst msg =
   if not (Hashtbl.mem t.up src.node) then node_up t src.node;
-  if not (is_up t src.node) || Rng.chance t.rng t.loss then
+  let link = (src.node, dst.node) in
+  let rng = link_rng t link in
+  if not (is_up t src.node) || Rng.chance rng t.loss then
     t.dropped <- t.dropped + 1
   else begin
-    let link = (src.node, dst.node) in
     let arrival =
-      let earliest = Engine.now t.eng + sample_delay t in
+      let earliest = Engine.now t.eng + sample_delay t rng in
       match Hashtbl.find_opt t.last_delivery link with
       | Some prev when prev > earliest -> prev
       | _ -> earliest

@@ -28,6 +28,9 @@ type wire_entry = int * int * string
 type Fabric.message +=
   | Accept of { aview : int; index : int; value : string; committed : int }
   | Accept_ok of { aview : int; index : int }
+  | Accept_batch of { aview : int; lo : int; values : string list; committed : int }
+      (** one round for a whole batch: values occupy indices [lo..lo+N-1] *)
+  | Accept_batch_ok of { aview : int; lo : int; hi : int }
   | Commit of { cview : int; committed : int }
   | Heartbeat of { hview : int; committed : int }
   | Heartbeat_ok of { hview : int }
@@ -40,6 +43,13 @@ type Fabric.message +=
   | Catchup_resp of { rview : int; primary : Fabric.node; entries : (int * string) list; committed : int }
 
 type wal_record = Wal_accept of int * int * string | Wal_commit of int
+
+type handlers = {
+  on_commit : index:int -> string -> unit;
+  on_demote : unit -> unit;
+}
+
+let null_handlers = { on_commit = (fun ~index:_ _ -> ()); on_demote = (fun () -> ()) }
 
 type election = {
   eview : int;
@@ -68,8 +78,7 @@ type t = {
   mutable committed : int;
   mutable applied : int;
   acks : (int, Fabric.node list) Hashtbl.t;
-  mutable apply_cb : (index:int -> string -> unit) option;
-  mutable demote_cb : (unit -> unit) option;
+  mutable handlers : handlers;
   (* Failure detection / election. *)
   mutable last_heartbeat : Time.t;
   (* Last instant any peer was heard from: a primary that loses quorum
@@ -85,6 +94,25 @@ type t = {
   mutable catchup_served : int;
   mutable catchup_installed : int;
   mutable wal_torn_discarded : int;
+  (* Batching accounting (proposer side): proposed batches waiting for
+     their whole index range to commit, oldest first, plus the committed
+     histogram. *)
+  open_batches : (int * int) Queue.t; (* (hi, size) *)
+  mutable batches_committed : int;
+  batch_sizes : (int, int) Hashtbl.t; (* size -> committed batches *)
+}
+
+type stats = {
+  decisions : int;
+  view_changes : int;
+  abdications : int;
+  catchup_served : int;
+  catchup_installed : int;
+  wal_torn_discarded : int;
+  pending : int;
+  last_election_duration : Time.t option;
+  batches_committed : int;
+  events_per_batch : (int * int) list;
 }
 
 let node t = t.self
@@ -93,18 +121,31 @@ let primary t = t.primary
 let is_primary t = t.primary = Some t.self
 let committed t = t.committed
 let applied t = t.applied
-let decisions t = t.decisions
-let view_changes t = t.view_changes
-let pending t = t.last_index - t.committed
-let last_election_duration t = t.last_election_duration
-let abdications t = t.abdications
-let catchup_served t = t.catchup_served
-let catchup_installed t = t.catchup_installed
-let wal_torn_discarded t = t.wal_torn_discarded
-let on_commit t cb = t.apply_cb <- Some cb
-let on_demote t cb = t.demote_cb <- Some cb
+let set_handlers t handlers = t.handlers <- handlers
 
-let fire_demote t = match t.demote_cb with Some cb -> cb () | None -> ()
+let stats (t : t) : stats =
+  {
+    decisions = t.decisions;
+    view_changes = t.view_changes;
+    abdications = t.abdications;
+    catchup_served = t.catchup_served;
+    catchup_installed = t.catchup_installed;
+    wal_torn_discarded = t.wal_torn_discarded;
+    pending = t.last_index - t.committed;
+    last_election_duration = t.last_election_duration;
+    batches_committed = t.batches_committed;
+    events_per_batch =
+      Hashtbl.fold (fun size n acc -> (size, n) :: acc) t.batch_sizes []
+      |> List.sort compare;
+  }
+
+let fire_demote t =
+  (* A demoted proposer's in-flight batches are void: they may be
+     superseded wholesale by the new primary's log merge, so counting
+     them as committed later (when the index range happens to fill with
+     someone else's values) would corrupt the histogram. *)
+  Queue.clear t.open_batches;
+  t.handlers.on_demote ()
 
 let majority t = (List.length t.members / 2) + 1
 let others t = List.filter (fun n -> n <> t.self) t.members
@@ -119,7 +160,7 @@ let persist t record k = Wal.append_async t.wal (Marshal.to_string (record : wal
 let trace t = Engine.trace t.eng
 
 (* Deliver committed values to the application, in order. *)
-let rec apply t =
+let rec apply (t : t) =
   if t.applied < t.committed then begin
     match Hashtbl.find_opt t.log (t.applied + 1) with
     | None -> () (* gap: wait for catch-up *)
@@ -136,15 +177,28 @@ let rec apply t =
         Trace.async_end tr ~ts ~tid ~id:t.applied ~node:t.self ~cat:"paxos"
           ~name:"decide" []
       end;
-      (match t.apply_cb with
-      | Some cb -> cb ~index:t.applied value
-      | None -> ());
+      t.handlers.on_commit ~index:t.applied value;
       apply t
   end
+
+(* Retire proposed batches whose whole index range has now committed. *)
+let note_committed_batches t =
+  let rec go () =
+    match Queue.peek_opt t.open_batches with
+    | Some (hi, size) when hi <= t.committed ->
+      ignore (Queue.pop t.open_batches);
+      t.batches_committed <- t.batches_committed + 1;
+      Hashtbl.replace t.batch_sizes size
+        (1 + Option.value (Hashtbl.find_opt t.batch_sizes size) ~default:0);
+      go ()
+    | Some _ | None -> ()
+  in
+  go ()
 
 let set_committed t idx =
   if idx > t.committed then begin
     t.committed <- idx;
+    note_committed_batches t;
     persist t (Wal_commit idx) (fun () -> ())
   end;
   (* Always try to apply, even when the commit index did not move: the
@@ -198,6 +252,7 @@ let submit t value =
         ~name:"decide" [ ("index", Trace.Int index) ]
     end;
     cast t (Accept { aview; index; value; committed = t.committed });
+    Queue.add (index, 1) t.open_batches;
     persist t (Wal_accept (aview, index, value)) (fun () ->
         if t.view = aview && is_primary t then begin
           record_ack t ~index ~from:t.self;
@@ -205,6 +260,51 @@ let submit t value =
         end);
     true
   end
+
+(* One consensus round for a whole batch: indices are assigned per value
+   (so decisions, checkpoints and catch-up are oblivious to batching) but
+   the broadcast, the acks and the WAL fsync are paid once. *)
+let submit_batch t values =
+  match values with
+  | [] -> false
+  | [ v ] -> submit t v
+  | _ ->
+    if not (is_primary t) then false
+    else begin
+      let aview = t.view in
+      let lo = t.last_index + 1 in
+      List.iteri (fun i value -> store_entry t ~index:(lo + i) ~eview:aview ~value) values;
+      let hi = t.last_index in
+      let tr = trace t in
+      if Trace.enabled tr then begin
+        let ts = Engine.now t.eng and tid = Engine.self_tid t.eng in
+        Trace.instant tr ~ts ~tid ~node:t.self ~cat:"paxos" ~name:"propose_batch"
+          [ ("lo", Trace.Int lo); ("size", Trace.Int (hi - lo + 1));
+            ("view", Trace.Int aview) ];
+        for index = lo to hi do
+          Trace.instant tr ~ts ~tid ~node:t.self ~cat:"paxos" ~name:"propose"
+            [ ("index", Trace.Int index); ("view", Trace.Int aview) ];
+          Trace.async_begin tr ~ts ~tid ~id:index ~node:t.self ~cat:"paxos"
+            ~name:"decide" [ ("index", Trace.Int index) ]
+        done
+      end;
+      cast t (Accept_batch { aview; lo; values; committed = t.committed });
+      Queue.add (hi, hi - lo + 1) t.open_batches;
+      let records =
+        List.mapi
+          (fun i value ->
+            Marshal.to_string (Wal_accept (aview, lo + i, value) : wal_record) [])
+          values
+      in
+      Wal.append_batch_async t.wal records (fun () ->
+          if t.view = aview && is_primary t then begin
+            for index = lo to hi do
+              record_ack t ~index ~from:t.self
+            done;
+            advance_commits t
+          end);
+      true
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Leader election: the three steps of §5.1. *)
@@ -256,7 +356,7 @@ let become_backup t ~nview ~primary =
    an asymmetric partition, where backups still hear its heartbeats and
    never elect.  Stepping down breaks the stalemate: heartbeats stop, the
    backups time out and elect among themselves. *)
-let abdicate t =
+let abdicate (t : t) =
   t.primary <- None;
   t.abdications <- t.abdications + 1;
   (let tr = trace t in
@@ -295,7 +395,7 @@ let rec heartbeat_loop t =
           heartbeat_loop t
         end)
 
-let become_primary t election =
+let become_primary (t : t) election =
   let entries, committed = merge_tails t election.tails in
   install_entries t entries;
   t.view <- election.eview;
@@ -384,7 +484,7 @@ let rec election_monitor t =
 (* ------------------------------------------------------------------ *)
 (* Message handling. *)
 
-let send_catchup t ~dst ~from_index =
+let send_catchup (t : t) ~dst ~from_index =
   let entries =
     List.filter_map
       (fun (idx, _, value) -> if idx <= t.committed then Some (idx, value) else None)
@@ -394,7 +494,7 @@ let send_catchup t ~dst ~from_index =
   tell t dst
     (Catchup_resp { rview = t.view; primary = Option.value t.primary ~default:t.self; entries; committed = t.committed })
 
-let handle t ~src msg =
+let handle (t : t) ~src msg =
   let from = src.Fabric.node in
   t.last_peer_contact <- Engine.now t.eng;
   match msg with
@@ -420,6 +520,44 @@ let handle t ~src msg =
   | Accept_ok { aview; index } ->
     if aview = t.view && is_primary t then begin
       record_ack t ~index ~from;
+      advance_commits t
+    end
+  | Accept_batch { aview; lo; values; committed } ->
+    if aview = t.view && Some from = t.primary then begin
+      let hi = lo + List.length values - 1 in
+      (* A retransmitted batch is already durable here: re-ack straight
+         away without writing duplicate WAL records. *)
+      let dup =
+        List.for_all
+          (fun i ->
+            match Hashtbl.find_opt t.log i with
+            | Some (v, _) -> v = aview
+            | None -> false)
+          (List.init (hi - lo + 1) (fun i -> lo + i))
+      in
+      List.iteri (fun i value -> store_entry t ~index:(lo + i) ~eview:aview ~value) values;
+      t.last_heartbeat <- Engine.now t.eng;
+      if dup then tell t from (Accept_batch_ok { aview; lo; hi })
+      else begin
+        let records =
+          List.mapi
+            (fun i value ->
+              Marshal.to_string (Wal_accept (aview, lo + i, value) : wal_record) [])
+            values
+        in
+        (* Group commit: the whole batch becomes durable with one fsync. *)
+        Wal.append_batch_async t.wal records (fun () ->
+            if t.view = aview then tell t from (Accept_batch_ok { aview; lo; hi }))
+      end;
+      set_committed t (min committed hi)
+    end
+    else if aview > t.view then
+      tell t from (Catchup_req { from_index = t.committed + 1 })
+  | Accept_batch_ok { aview; lo; hi } ->
+    if aview = t.view && is_primary t then begin
+      for index = lo to hi do
+        record_ack t ~index ~from
+      done;
       advance_commits t
     end
   | Commit { cview; committed } ->
@@ -508,7 +646,7 @@ let handle t ~src msg =
 
 (* ------------------------------------------------------------------ *)
 
-let recover_from_wal t =
+let recover_from_wal (t : t) =
   let absorb (e : Wal.entry) =
     (* A crash mid-append leaves a torn partial tail: discard it (and any
        record whose bytes no longer decode) — the stable prefix is the
@@ -553,8 +691,7 @@ let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group ()
       committed = 0;
       applied = 0;
       acks = Hashtbl.create 1024;
-      apply_cb = None;
-      demote_cb = None;
+      handlers = null_handlers;
       last_heartbeat = Time.zero;
       last_peer_contact = Time.zero;
       election = None;
@@ -566,6 +703,9 @@ let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group ()
       catchup_served = 0;
       catchup_installed = 0;
       wal_torn_discarded = 0;
+      open_batches = Queue.create ();
+      batches_committed = 0;
+      batch_sizes = Hashtbl.create 16;
     }
   in
   recover_from_wal t;

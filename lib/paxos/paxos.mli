@@ -59,16 +59,39 @@ val primary : t -> Crane_net.Fabric.node option
 val submit : t -> string -> bool
 (** Propose a value.  Returns [false] (and does nothing) unless this node
     currently believes itself primary.  Decisions are reported through
-    {!on_commit}. *)
+    [handlers.on_commit]. *)
 
-val on_commit : t -> (index:int -> string -> unit) -> unit
-(** Register the application callback (one per component). *)
+val submit_batch : t -> string list -> bool
+(** Propose several values as one consensus round (paper-faithful
+    batching: CRANE already amortizes ordering per {e burst}, this
+    amortizes the transport too).  Each value still gets its own global
+    index — the decision sequence is exactly what [N] {!submit} calls in
+    list order would have produced — but the whole batch costs one Accept
+    broadcast, one ack per replica, and one group-commit WAL fsync
+    ({!Crane_storage.Wal.append_batch_async}) instead of [N] of each.
+    Returns [false] (and proposes nothing) unless this node currently
+    believes itself primary, or if the list is empty. *)
 
-val on_demote : t -> (unit -> unit) -> unit
-(** Register a callback fired whenever this node stops believing itself
-    primary — deposed by a higher view, or abdicating after losing quorum
-    contact.  The proxy uses it to shed clients so they retry against the
-    new primary (one per component). *)
+(** {2 Handlers}
+
+    Both application callbacks are registered atomically, so a component
+    can never run with a half-registered callback set (the old
+    [on_commit]/[on_demote] post-hoc setters were order-sensitive). *)
+
+type handlers = {
+  on_commit : index:int -> string -> unit;
+      (** Fires on {e every} replica, in index order, exactly once per
+          index per incarnation — batched proposals are unpacked and
+          delivered per entry. *)
+  on_demote : unit -> unit;
+      (** Fires whenever this node stops believing itself primary —
+          deposed by a higher view, or abdicating after losing quorum
+          contact.  The proxy uses it to shed clients so they retry
+          against the new primary. *)
+}
+
+val set_handlers : t -> handlers -> unit
+(** Install both callbacks (one registration per component). *)
 
 val committed : t -> int
 (** Highest committed index (0 = nothing yet). *)
@@ -78,35 +101,40 @@ val applied : t -> int
 val get_committed_range : t -> lo:int -> hi:int -> string list
 (** Committed values with indices in [lo..hi] (for checkpoint replay). *)
 
-val decisions : t -> int
-(** Number of consensus decisions reached on this node. *)
+(** {2 Statistics}
 
-val view_changes : t -> int
+    One typed record behind a single accessor, replacing the former nine
+    flat per-metric getters. *)
 
-val pending : t -> int
-(** Proposed-but-uncommitted entries ([last_index - committed]): the depth
-    of the consensus pipeline.  The proxy uses it as a backpressure signal
-    for time bubbles — when commits stall (lossy network, lost quorum) an
-    unthrottled bubble request loop would append thousands of junk entries
-    that the whole cluster must later replay. *)
+type stats = {
+  decisions : int;  (** consensus decisions applied on this node *)
+  view_changes : int;  (** elections this node won *)
+  abdications : int;
+      (** times this node stepped down as primary after hearing no peer
+          for election_timeout — the asymmetric-partition escape hatch:
+          backups on the far side of a one-way link still receive
+          heartbeats and would otherwise never elect *)
+  catchup_served : int;  (** committed entries shipped in catch-up responses *)
+  catchup_installed : int;
+      (** log entries first learned through catch-up responses (the
+          recovery "range replayed" of §5.2) *)
+  wal_torn_discarded : int;
+      (** torn or undecodable WAL tail records discarded during recovery *)
+  pending : int;
+      (** proposed-but-uncommitted entries ([last_index - committed]): the
+          depth of the consensus pipeline.  The proxy uses it as a
+          backpressure signal for time bubbles — when commits stall, an
+          unthrottled bubble request loop would append thousands of junk
+          entries that the whole cluster must later replay *)
+  last_election_duration : Crane_sim.Time.t option;
+      (** wall-clock (virtual) time of the most recent successful election
+          this node won, from first view-change message to new-view
+          announcement — the paper's 1.97 ms figure *)
+  batches_committed : int;
+      (** proposed batches whose whole index range has committed *)
+  events_per_batch : (int * int) list;
+      (** histogram of committed batch sizes: [(size, batches)] pairs in
+          ascending size order ({!submit} counts as size 1) *)
+}
 
-val last_election_duration : t -> Crane_sim.Time.t option
-(** Wall-clock (virtual) time of the most recent successful election this
-    node won, from first view-change message to new-view announcement —
-    the paper's 1.97 ms figure. *)
-
-val abdications : t -> int
-(** Times this node stepped down as primary after hearing no peer for
-    election_timeout — the asymmetric-partition escape hatch: backups on
-    the far side of a one-way link still receive heartbeats and would
-    otherwise never elect. *)
-
-val catchup_served : t -> int
-(** Committed entries this node shipped in catch-up responses. *)
-
-val catchup_installed : t -> int
-(** Log entries this node first learned through catch-up responses
-    (the recovery "range replayed" of §5.2). *)
-
-val wal_torn_discarded : t -> int
-(** Torn or undecodable WAL tail records discarded during recovery. *)
+val stats : t -> stats

@@ -58,6 +58,39 @@ let append t record =
   Engine.suspend t.eng (fun wake ->
       append_async t record (fun () -> ignore (wake ())))
 
+(* Group commit: the whole batch shares one position in the flash-channel
+   queue and one write-latency charge.  A crash before the group's fsync
+   instant consumes every member (the torn-tail model tears the oldest). *)
+let append_batch_async t records k =
+  match records with
+  | [] -> k ()
+  | [ r ] -> append_async t r k
+  | _ ->
+    t.writes <- t.writes + 1;
+    let ids =
+      List.map
+        (fun record ->
+          let id = t.next_write_id in
+          t.next_write_id <- id + 1;
+          Hashtbl.replace t.inflight id record;
+          id)
+        records
+    in
+    Engine.at t.eng (stable_time t) (fun () ->
+        if List.for_all (fun id -> Hashtbl.mem t.inflight id) ids then begin
+          List.iter
+            (fun id ->
+              let record = Hashtbl.find t.inflight id in
+              Hashtbl.remove t.inflight id;
+              t.stable <- { data = record; torn = false } :: t.stable)
+            ids;
+          k ()
+        end)
+
+let append_batch t records =
+  Engine.suspend t.eng (fun wake ->
+      append_batch_async t records (fun () -> ignore (wake ())))
+
 let crash_torn_tail t =
   let pending =
     Hashtbl.fold (fun id data acc -> (id, data) :: acc) t.inflight []

@@ -25,6 +25,18 @@ val append_async : t -> string -> (unit -> unit) -> unit
 (** Durable append from callback context; the continuation runs once the
     record is stable. *)
 
+val append_batch_async : t -> string list -> (unit -> unit) -> unit
+(** Group commit (the Berkeley-DB [txn_checkpoint] trick): append all
+    records with a {e single} fsync — one write-latency charge for the
+    whole group instead of one per record.  Records land in list order;
+    the continuation runs once the entire group is stable.  A crash
+    mid-group follows the usual torn-tail rule: the oldest in-flight
+    record survives as a torn partial prefix, the rest are lost. *)
+
+val append_batch : t -> string list -> unit
+(** Blocking variant of {!append_batch_async}; call from a simulated
+    thread. *)
+
 val crash_torn_tail : t -> bool
 (** Model a process crash mid-append: the oldest in-flight (submitted,
     not yet stable) record lands as a torn partial tail, younger in-flight

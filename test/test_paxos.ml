@@ -46,7 +46,9 @@ let add_node ?(config = fast_config) sim name =
     Paxos.create ~config ~fabric:sim.fabric ~rng ~wal ~members ~node:name ~group ()
   in
   let log = ref [] in
-  Paxos.on_commit p (fun ~index:_ v -> log := v :: !log);
+  Paxos.set_handlers p
+    { Paxos.on_commit = (fun ~index:_ v -> log := v :: !log);
+      on_demote = (fun () -> ()) };
   Paxos.start p ();
   Fabric.node_up sim.fabric name;
   sim.nodes <- sim.nodes @ [ (name, p, group, log) ];
@@ -150,7 +152,7 @@ let test_leader_election_on_primary_failure () =
   match find_primary sim with
   | Some (_, p, _, _) -> (
     Alcotest.(check bool) "view advanced" true (Paxos.view p > 0);
-    match Paxos.last_election_duration p with
+    match (Paxos.stats p).Paxos.last_election_duration with
     | Some d ->
       (* LAN-scale election: well under a second (paper: 1.97 ms). *)
       Alcotest.(check bool) "election fast" true (d < Time.sec 1)

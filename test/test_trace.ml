@@ -69,7 +69,7 @@ let test_commit_counts () =
   Alcotest.(check int) "three replicas" 3 (List.length instances);
   List.iter
     (fun (node, inst) ->
-      let decided = Paxos.decisions inst.Instance.paxos in
+      let decided = (Paxos.stats inst.Instance.paxos).Paxos.decisions in
       Alcotest.(check bool) ("some decisions on " ^ node) true (decided > 0);
       Alcotest.(check int)
         ("commit events match decisions on " ^ node)
