@@ -104,6 +104,7 @@ let specs ~scale =
 
 let fast_paxos =
   {
+    Paxos.default_config with
     Paxos.heartbeat_period = Time.ms 200;
     election_timeout = Time.ms 600;
     election_jitter = Time.ms 100;

@@ -51,7 +51,8 @@ let all_modes =
     ("crane", Crane); ("plan2", PlanII) ]
 
 let fast_paxos =
-  { Paxos.heartbeat_period = Time.ms 200; election_timeout = Time.ms 600;
+  { Paxos.default_config with
+    Paxos.heartbeat_period = Time.ms 200; election_timeout = Time.ms 600;
     election_jitter = Time.ms 100; round_retry = Time.ms 200 }
 
 let imode_of = function
@@ -453,6 +454,242 @@ let bench_cmd quick seed out check servers =
   end
   else 0
 
+(* ---- bench recovery: bounded logs and two-tier catch-up ---- *)
+
+(* Measures what log compaction buys: a 3-node consensus group streams
+   [history] decisions while one backup is down, then restarts it and
+   times how long the straggler takes to re-join.  With compaction on,
+   the group's resident log stays bounded (entries below the watermark
+   are freed once a snapshot covers them) and the straggler recovers via
+   snapshot transfer plus a short log suffix; with compaction off, the
+   log grows with history and recovery replays everything.  The paxos
+   layer is benched directly (no DMT) so the numbers isolate the
+   consensus/storage path the fix targets. *)
+
+module Fabric = Crane_net.Fabric
+
+type recovery_run = {
+  rr_history : int;
+  rr_recovery : Time.t;  (** virtual time for the restarted replica to re-join *)
+  rr_peak_log : int;  (** peak resident log entries across replicas *)
+  rr_final_log : int;  (** resident log entries on the primary afterwards *)
+  rr_wal_records : int;  (** resident WAL records on the primary *)
+  rr_wal_dropped : int;  (** WAL records freed by truncation on the primary *)
+  rr_compactions : int;
+  rr_snapshots : int;  (** snapshot installs on the restarted replica *)
+  rr_converged : bool;
+}
+
+type rnode = { rn_paxos : Paxos.t; rn_group : Engine.group; rn_state : string ref }
+
+let recovery_members = [ "n1"; "n2"; "n3" ]
+
+let recovery_run ~threshold ~history ~seed =
+  let eng = Engine.create () in
+  let fabric = Fabric.create eng (Rng.create seed) in
+  let wals = Hashtbl.create 4 in
+  let config =
+    { Paxos.heartbeat_period = Time.ms 50; election_timeout = Time.ms 200;
+      election_jitter = Time.ms 30; round_retry = Time.ms 50;
+      compaction_threshold = threshold; catchup_chunk = 256 }
+  in
+  let boot name =
+    let wal =
+      match Hashtbl.find_opt wals name with
+      | Some w -> w
+      | None ->
+        let w = Wal.create eng ~name in
+        Hashtbl.add wals name w;
+        w
+    in
+    let group = Engine.new_group eng in
+    let p =
+      Paxos.create ~config ~fabric ~rng:(Rng.create (seed + Hashtbl.hash name)) ~wal
+        ~members:recovery_members ~node:name ~group ()
+    in
+    (* The replicated state is a chain digest of the decision stream: tiny,
+       but it distinguishes any two histories, so convergence checks are
+       as strict as with a real server. *)
+    let state = ref "" in
+    Paxos.set_handlers p
+      { Paxos.on_commit =
+          (fun ~index:_ v -> state := Digest.to_hex (Digest.string (!state ^ v)));
+        on_demote = (fun () -> ()) };
+    Paxos.set_compaction_hooks p
+      { Paxos.install_snapshot =
+          (fun ~index:_ blob -> state := (Marshal.from_string blob 0 : string));
+        on_compact = (fun ~watermark:_ -> ()) };
+    Paxos.start p ~as_primary:(name = "n1") ();
+    Fabric.node_up fabric name;
+    (* WAL recovery does not re-fire on_commit (a real instance replays
+       decided calls itself, from its restored checkpoint); do the same
+       here — restore the recovered snapshot, then fold the resident
+       committed suffix into the state. *)
+    let from =
+      match Paxos.snapshot p with
+      | Some (s_index, blob) when s_index <= Paxos.applied p ->
+        state := (Marshal.from_string blob 0 : string);
+        s_index + 1
+      | _ -> Paxos.base p + 1
+    in
+    List.iter
+      (fun v -> state := Digest.to_hex (Digest.string (!state ^ v)))
+      (Paxos.get_committed_range p ~lo:from ~hi:(Paxos.applied p));
+    { rn_paxos = p; rn_group = group; rn_state = state }
+  in
+  let n1 = boot "n1" in
+  let n2 = boot "n2" in
+  let n3 = boot "n3" in
+  (* n2 plays the checkpoint backup: every ~256 applied decisions it hands
+     its state to consensus as a snapshot (what Instance does after each
+     real checkpoint), which is what licenses compaction. *)
+  let snap_every = 256 in
+  let last_offered = ref 0 in
+  let rec snap_loop () =
+    Engine.after eng (Time.ms 20) (fun () ->
+        let a = Paxos.applied n2.rn_paxos in
+        if a - !last_offered >= snap_every then begin
+          last_offered := a;
+          Paxos.offer_snapshot n2.rn_paxos ~index:a
+            ~blob:(Marshal.to_string !(n2.rn_state) [])
+        end;
+        snap_loop ())
+  in
+  snap_loop ();
+  Engine.spawn eng ~name:"stream" (fun () ->
+      Engine.sleep eng (Time.ms 10);
+      for i = 1 to history do
+        ignore (Paxos.submit n1.rn_paxos (Printf.sprintf "r%07d" i));
+        Engine.sleep eng (Time.us 100)
+      done);
+  (* Kill n3 early: everything decided after this point is history it must
+     recover on restart. *)
+  Engine.run ~until:(Time.ms 50) eng;
+  Engine.kill_group eng n3.rn_group;
+  Fabric.node_down fabric "n3";
+  let stream_end = Time.ms 10 + (history * Time.us 100) in
+  Engine.run ~until:(stream_end + Time.ms 300) eng;
+  let n3' = boot "n3" in
+  let t0 = Engine.now eng in
+  let deadline = t0 + Time.sec 60 in
+  while
+    Paxos.applied n3'.rn_paxos < Paxos.committed n1.rn_paxos
+    && Engine.now eng < deadline
+  do
+    Engine.run ~until:(Engine.now eng + Time.ms 5) eng
+  done;
+  let recovery = Engine.now eng - t0 in
+  let converged =
+    Paxos.applied n3'.rn_paxos >= Paxos.committed n1.rn_paxos
+    && String.equal !(n3'.rn_state) !(n1.rn_state)
+  in
+  (match Engine.failures eng with
+  | [] -> ()
+  | (name, e) :: _ ->
+    failwith (Printf.sprintf "bench thread %s died: %s" name (Printexc.to_string e)));
+  let live = [ n1; n2; n3' ] in
+  let peak =
+    List.fold_left
+      (fun acc n -> max acc (Paxos.stats n.rn_paxos).Paxos.peak_log_resident)
+      0 live
+  in
+  let wal1 = Hashtbl.find wals "n1" in
+  {
+    rr_history = history;
+    rr_recovery = recovery;
+    rr_peak_log = peak;
+    rr_final_log = (Paxos.stats n1.rn_paxos).Paxos.log_resident;
+    rr_wal_records = Wal.length wal1;
+    rr_wal_dropped = Wal.dropped wal1;
+    rr_compactions =
+      List.fold_left
+        (fun acc n -> acc + (Paxos.stats n.rn_paxos).Paxos.compactions)
+        0 live;
+    rr_snapshots = (Paxos.stats n3'.rn_paxos).Paxos.snapshots_installed;
+    rr_converged = converged;
+  }
+
+let recovery_run_json (r : recovery_run) =
+  Printf.sprintf
+    "{\"history\": %d, \"recovery_ms\": %.3f, \"peak_log_resident\": %d, \
+     \"final_log_resident\": %d, \"wal_records\": %d, \"wal_dropped\": %d, \
+     \"compactions\": %d, \"snapshots_installed\": %d, \"converged\": %b}"
+    r.rr_history
+    (Time.to_float_ms r.rr_recovery)
+    r.rr_peak_log r.rr_final_log r.rr_wal_records r.rr_wal_dropped r.rr_compactions
+    r.rr_snapshots r.rr_converged
+
+let bench_recovery_cmd quick seed out check =
+  let histories = if quick then [ 500; 1000; 2000 ] else [ 1000; 2000; 4000; 8000 ] in
+  let threshold = 128 in
+  let measure th = List.map (fun history -> recovery_run ~threshold:th ~history ~seed) histories in
+  Printf.printf "bench recovery: compaction on (threshold %d)..." threshold;
+  flush stdout;
+  let on = measure threshold in
+  Printf.printf " off...";
+  flush stdout;
+  let off = measure 0 in
+  Printf.printf " done\n";
+  Table.print
+    ~title:(Printf.sprintf "recovery bench (3 nodes, snapshot every %d decisions)" 256)
+    ~header:[ "history"; "peak log (on)"; "peak log (off)"; "recovery (on)";
+              "recovery (off)"; "snapshots"; "wal resident (on)" ]
+    (List.map2
+       (fun a b ->
+         [ string_of_int a.rr_history;
+           string_of_int a.rr_peak_log;
+           string_of_int b.rr_peak_log;
+           Time.to_string a.rr_recovery;
+           Time.to_string b.rr_recovery;
+           string_of_int a.rr_snapshots;
+           string_of_int a.rr_wal_records ])
+       on off);
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"recovery\",\n  \"seed\": %d,\n  \"threshold\": %d,\n  \
+       \"snapshot_every\": %d,\n  \"compaction_on\": [\n%s\n  ],\n  \
+       \"compaction_off\": [\n%s\n  ]\n}\n"
+      seed threshold 256
+      (String.concat ",\n" (List.map (fun r -> "    " ^ recovery_run_json r) on))
+      (String.concat ",\n" (List.map (fun r -> "    " ^ recovery_run_json r) off))
+  in
+  (match open_out out with
+  | oc ->
+    output_string oc json;
+    close_out oc;
+    Printf.printf "wrote %s\n" out
+  | exception Sys_error msg ->
+    Printf.eprintf "crane: cannot write %s: %s\n" out msg;
+    exit 1);
+  if not check then 0
+  else begin
+    let largest = List.nth on (List.length on - 1) in
+    let smallest = List.hd on in
+    let off_largest = List.nth off (List.length off - 1) in
+    let all_converged = List.for_all (fun r -> r.rr_converged) (on @ off) in
+    (* "bounded" means the peak stops tracking history length: the largest
+       run's peak must stay within a constant band of the smallest run's,
+       and clearly below the uncompacted peak. *)
+    let flat = largest.rr_peak_log <= (2 * smallest.rr_peak_log) + 256 in
+    let below_off = largest.rr_peak_log < off_largest.rr_peak_log in
+    let snapshot_used = largest.rr_snapshots >= 1 in
+    if all_converged && flat && below_off && snapshot_used then begin
+      Printf.printf
+        "CHECK OK: peak %d entries at history %d (vs %d uncompacted), snapshot \
+         path used\n"
+        largest.rr_peak_log largest.rr_history off_largest.rr_peak_log;
+      0
+    end
+    else begin
+      Printf.printf
+        "CHECK FAIL: converged=%b flat=%b (peak %d vs %d) below-uncompacted=%b \
+         (%d vs %d) snapshot-used=%b\n"
+        all_converged flat largest.rr_peak_log smallest.rr_peak_log below_off
+        largest.rr_peak_log off_largest.rr_peak_log snapshot_used;
+      1
+    end
+  end
+
 let servers_cmd () =
   print_endline "available servers:";
   List.iter (fun (n, _) -> Printf.printf "  %s\n" n) all_servers;
@@ -515,6 +752,21 @@ let bench_term =
   Term.(const bench_cmd $ quick_arg $ seed_arg $ bench_out_arg $ check_arg
         $ bench_servers_arg)
 
+let recovery_out_arg =
+  Arg.(value & opt string "BENCH_recovery.json"
+       & info [ "out"; "o" ] ~doc:"Benchmark JSON output file.")
+
+let recovery_check_arg =
+  Arg.(value & flag
+       & info [ "check" ]
+           ~doc:"Exit nonzero unless the compacted peak log size is flat across \
+                 history lengths, beats the uncompacted peak, and the restarted \
+                 replica recovered through the snapshot path.")
+
+let bench_recovery_term =
+  Term.(const bench_recovery_cmd $ quick_arg $ seed_arg $ recovery_out_arg
+        $ recovery_check_arg)
+
 let trace_term =
   Term.(const trace_cmd $ server_arg $ mode_arg $ clients_arg $ requests_arg
         $ seed_arg $ format_arg $ out_arg)
@@ -525,7 +777,17 @@ let cmds =
     Cmd.v (Cmd.info "failover" ~doc:"Kill the primary under load, recover from a checkpoint.") failover_term;
     Cmd.v (Cmd.info "chaos" ~doc:"Run the deterministic fault-injection suite and check SMR invariants.") chaos_term;
     Cmd.v (Cmd.info "trace" ~doc:"Run a workload with the flight recorder on; export the trace and metrics.") trace_term;
-    Cmd.v (Cmd.info "bench" ~doc:"Measure batched vs. unbatched commit throughput; write BENCH_batching.json.") bench_term;
+    Cmd.group
+      (Cmd.info "bench" ~doc:"Benchmarks: commit batching, recovery/compaction.")
+      [ Cmd.v
+          (Cmd.info "batching"
+             ~doc:"Measure batched vs. unbatched commit throughput; write BENCH_batching.json.")
+          bench_term;
+        Cmd.v
+          (Cmd.info "recovery"
+             ~doc:"Measure straggler recovery time and peak resident log with \
+                   compaction on vs. off; write BENCH_recovery.json.")
+          bench_recovery_term ];
     Cmd.v (Cmd.info "servers" ~doc:"List available servers and modes.") servers_term;
   ]
 

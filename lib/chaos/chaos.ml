@@ -38,6 +38,11 @@ type fault =
           mid-WAL-append, leaving a torn tail for recovery to discard. *)
   | Crash_backup of { torn_wal : bool }  (** kill a random live backup *)
   | Crash_random  (** kill a random live replica (quorum-guarded) *)
+  | Crash_node of string
+      (** kill a specific replica by name — deterministic scenarios use it
+          to pick a node that is {e not} the checkpoint backup, so its
+          recovery must come through consensus state transfer rather than
+          the out-of-band checkpoint shipment *)
   | Restart_one  (** restart the oldest crashed replica from a checkpoint *)
   | Partition_primary  (** symmetric: isolate the primary from everyone *)
   | Partition_oneway_primary
@@ -53,6 +58,7 @@ let fault_name = function
   | Crash_primary { torn_wal } -> if torn_wal then "crash_primary_torn" else "crash_primary"
   | Crash_backup { torn_wal } -> if torn_wal then "crash_backup_torn" else "crash_backup"
   | Crash_random -> "crash_random"
+  | Crash_node n -> "crash_node " ^ n
   | Restart_one -> "restart"
   | Partition_primary -> "partition_primary"
   | Partition_oneway_primary -> "partition_oneway_primary"
@@ -78,6 +84,10 @@ type scenario = {
   clients : int;
   requests : int;
   think : Time.t;
+  expect_snapshot : bool;
+      (** the scenario is built so that a replica falls behind the
+          compaction watermark: the run must recover it through the
+          snapshot catch-up path (at least one snapshot install) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -98,6 +108,9 @@ type report = {
   r_abdications : int;
   r_catchup_installed : int;  (** log entries refilled via catch-up *)
   r_torn_discarded : int;
+  r_compactions : int;  (** log-compaction rounds across all replicas *)
+  r_snapshots_installed : int;  (** replicas fast-forwarded via snapshot *)
+  r_checkpoints_skipped : int;  (** rounds abandoned: connections never drained *)
   r_acked : int;
   r_ok : int;
   r_errors : int;
@@ -138,6 +151,9 @@ let render_report r =
   line "abdications:        %d" r.r_abdications;
   line "catch-up installed: %d entries" r.r_catchup_installed;
   line "torn WAL discarded: %d records" r.r_torn_discarded;
+  line "compactions:        %d rounds" r.r_compactions;
+  line "snapshot installs:  %d" r.r_snapshots_installed;
+  line "checkpoints skipped:%d" r.r_checkpoints_skipped;
   line "final primary:      %s" (Option.value r.final_primary ~default:"(none)");
   Buffer.add_string b
     (Table.render ~title:"invariants" ~header:[ "invariant"; "verdict" ]
@@ -217,6 +233,10 @@ let apply_fault d fault =
     | [] -> note d "skip" (fault_name fault)
     | _ when not (quorum_safe_to_kill d) -> note d "skip" (fault_name fault)
     | live -> kill_node d ~torn:false (Rng.pick d.nemesis live))
+  | Crash_node node ->
+    if List.mem node (live_nodes d) && quorum_safe_to_kill d then
+      kill_node d ~torn:false node
+    else note d "skip" (fault_name fault)
   | Restart_one -> (
     match d.crashed with
     | [] -> note d "skip" "restart"
@@ -320,7 +340,14 @@ let sample d =
     (fun (node, inst) ->
       let px = inst.Instance.paxos in
       let hi = Paxos.committed px in
-      let lo = (try Hashtbl.find d.watermarks node with Not_found -> 0) + 1 in
+      (* start above both the last-sampled index and the replica's
+         compaction base: entries at or below the base have been freed,
+         and the range lookup would return nothing for them *)
+      let lo =
+        max
+          ((try Hashtbl.find d.watermarks node with Not_found -> 0) + 1)
+          (Paxos.base px + 1)
+      in
       if hi >= lo then begin
         List.iteri
           (fun i value ->
@@ -370,23 +397,26 @@ let final_checks d ~(ledger : Ledger.client) ~probe_errors =
   [
     check "single-primary-per-view" (fun () -> sampled "single-primary-per-view");
     check "committed-prefix-agreement" (fun () ->
-        (* full recheck from index 1: catches divergence the incremental
-           watermark pass would miss after a restart *)
+        (* full recheck of every still-resident entry: catches divergence
+           the incremental watermark pass would miss after a restart.
+           Compacted prefixes (at or below the base) are gone from the log
+           by design, so the recheck starts just above the base. *)
         let v = ref (sampled "committed-prefix-agreement") in
         List.iter
           (fun (node, inst) ->
             if !v = None then
               let px = inst.Instance.paxos in
               let hi = Paxos.committed px in
-              if hi >= 1 then
+              let lo = Paxos.base px + 1 in
+              if hi >= lo then
                 List.iteri
                   (fun i value ->
-                    let idx = 1 + i in
+                    let idx = lo + i in
                     match Hashtbl.find_opt d.reference_log idx with
                     | Some expect when expect <> value && !v = None ->
                       v := Some (Printf.sprintf "%s diverged at index %d" node idx)
                     | _ -> ())
-                  (Paxos.get_committed_range px ~lo:1 ~hi))
+                  (Paxos.get_committed_range px ~lo ~hi))
           live;
         !v);
     check "output-log-divergence" (fun () ->
@@ -473,8 +503,16 @@ let chaos_config =
         election_timeout = Time.ms 300;
         election_jitter = Time.ms 50;
         round_retry = Time.ms 100;
+        (* Aggressive compaction: a tiny threshold and small catch-up
+           pages so every chaos run exercises the snapshot catch-up and
+           pagination paths, not just the steady state. *)
+        compaction_threshold = 32;
+        catchup_chunk = 64;
       };
     checkpoint_period = Time.sec 2;
+    (* Small enough that chaos runs actually trim the output log, forcing
+       the digest-aligned comparison paths through their paces. *)
+    output_keep = 256;
   }
 
 let run ?(cfg = chaos_config) ?trace ~seed scenario =
@@ -560,6 +598,19 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
     List.fold_left (fun acc (_, inst) -> acc + f inst.Instance.paxos) 0
       (Cluster.instances cluster)
   in
+  let snapshots_installed = sum (fun p -> (Paxos.stats p).Paxos.snapshots_installed) in
+  let invariants =
+    final_checks d ~ledger ~probe_errors:probe_r.Loadgen.errors
+    @
+    if scenario.expect_snapshot then
+      [ ( "snapshot-recovery",
+          if snapshots_installed >= 1 then None
+          else
+            Some
+              "no snapshot was installed: the lagging replica recovered without \
+               the state-transfer path this scenario exists to exercise" ) ]
+    else []
+  in
   {
     r_scenario = scenario.name;
     r_seed = seed;
@@ -568,6 +619,13 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
     r_abdications = sum (fun p -> (Paxos.stats p).Paxos.abdications);
     r_catchup_installed = sum (fun p -> (Paxos.stats p).Paxos.catchup_installed);
     r_torn_discarded = sum (fun p -> (Paxos.stats p).Paxos.wal_torn_discarded);
+    r_compactions = sum (fun p -> (Paxos.stats p).Paxos.compactions);
+    r_snapshots_installed = snapshots_installed;
+    r_checkpoints_skipped =
+      List.fold_left
+        (fun acc (_, inst) ->
+          acc + Crane_checkpoint.Manager.checkpoints_skipped inst.Instance.manager)
+        0 (Cluster.instances cluster);
     r_acked = Ledger.acked_count ledger;
     r_ok = List.length load.Loadgen.latencies;
     r_errors = load.Loadgen.errors;
@@ -575,7 +633,7 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
     probe_ok = List.length probe_r.Loadgen.latencies;
     probe_errors = probe_r.Loadgen.errors;
     final_primary = Cluster.primary_node cluster;
-    invariants = final_checks d ~ledger ~probe_errors:probe_r.Loadgen.errors;
+    invariants;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -591,6 +649,7 @@ let base =
     clients = 4;
     requests = 160;
     think = Time.ms 40;
+    expect_snapshot = false;
   }
 
 let scenarios =
@@ -655,6 +714,23 @@ let scenarios =
             { at = Time.ms 3300; fault = Heal };
             { at = Time.sec 4; fault = Crash_primary { torn_wal = false } };
             { at = Time.sec 5; fault = Restart_one } ] };
+    {
+      name = "compaction-catchup";
+      about = "crash a non-checkpoint backup early, run thousands of events past \
+               the compaction watermark, then restart it: the freed log prefix \
+               forces recovery through snapshot transfer + chunked catch-up";
+      duration = Time.sec 8;
+      settle = Time.sec 2;
+      clients = 8;
+      requests = 2400;
+      think = Time.ms 3;
+      expect_snapshot = true;
+      schedule =
+        Timed
+          [ (* replica2 is the checkpoint backup; killing replica3 leaves
+               checkpointing alive while the victim's log falls far behind *)
+            { at = Time.ms 400; fault = Crash_node "replica3" };
+            { at = Time.sec 7; fault = Restart_one } ] };
     { base with
       name = "random";
       about = "seeded probabilistic nemesis: faults drawn from the full pool";

@@ -23,14 +23,16 @@ type t = {
   mem_bytes : unit -> int;
   alive_conns : unit -> int;
   global_index : unit -> int;
+  max_backoffs : int;
   mutable last : checkpoint option;
   mutable taken : int;
   mutable backoffs : int;
+  mutable skipped : int;
 }
 
-let create eng ~container ~state_of ~mem_bytes ~alive_conns ~global_index =
+let create ?(max_backoffs = 20) eng ~container ~state_of ~mem_bytes ~alive_conns ~global_index =
   { eng; container; state_of; mem_bytes; alive_conns; global_index;
-    last = None; taken = 0; backoffs = 0 }
+    max_backoffs; last = None; taken = 0; backoffs = 0; skipped = 0 }
 
 (* diff reads both trees (~125 ns/byte: read, hash, spool) and writes the
    patch; patching replays only modified lines.  Calibrated against
@@ -40,17 +42,22 @@ let create eng ~container ~state_of ~mem_bytes ~alive_conns ~global_index =
 let fs_scan_cost ~bytes = Time.ms 25 + (bytes * 125)
 let fs_patch_cost ~bytes = Time.ms 180 + (bytes * 300)
 
-let rec wait_for_quiescence t =
-  if t.alive_conns () > 0 then begin
+(* Bounded: streaming clients can keep a connection alive indefinitely,
+   so an unbounded retry loop would wedge the checkpointer forever.
+   After [max_backoffs] attempts the round is skipped; the periodic loop
+   tries again a full period later. *)
+let rec wait_for_quiescence t attempts =
+  if t.alive_conns () = 0 then true
+  else if attempts >= t.max_backoffs then false
+  else begin
     (* "CRANE simply checks whether the server has alive connections.  If
        so, CRANE backs off for a few seconds and then retries." *)
     t.backoffs <- t.backoffs + 1;
     Engine.sleep t.eng (Time.ms 500);
-    wait_for_quiescence t
+    wait_for_quiescence t (attempts + 1)
   end
 
-let checkpoint_now t =
-  wait_for_quiescence t;
+let take_checkpoint t =
   let global_index = t.global_index () in
   (* Step 1: CRIU dump of the process inside the container. *)
   let t0 = Engine.now t.eng in
@@ -76,6 +83,13 @@ let checkpoint_now t =
   t.taken <- t.taken + 1;
   ckpt
 
+let checkpoint_now t =
+  if wait_for_quiescence t 0 then Some (take_checkpoint t)
+  else begin
+    t.skipped <- t.skipped + 1;
+    None
+  end
+
 let latest t = t.last
 
 let restore t ckpt =
@@ -91,14 +105,17 @@ let restore t ckpt =
   let r_process = Engine.now t.eng - t1 in
   (state, { r_process; r_fs })
 
-let start_periodic t ?(period = Time.sec 60) ~group () =
+let start_periodic t ?(period = Time.sec 60) ?(on_checkpoint = fun _ -> ()) ~group () =
   let rec loop () =
     Engine.after t.eng ~group period (fun () ->
         Engine.spawn t.eng ~group ~name:"checkpointer" (fun () ->
-            ignore (checkpoint_now t);
+            (match checkpoint_now t with
+            | Some ckpt -> on_checkpoint ckpt
+            | None -> ());
             loop ()))
   in
   loop ()
 
 let checkpoints_taken t = t.taken
 let backoffs t = t.backoffs
+let checkpoints_skipped t = t.skipped

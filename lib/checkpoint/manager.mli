@@ -36,6 +36,7 @@ type checkpoint = {
 type t
 
 val create :
+  ?max_backoffs:int ->
   Crane_sim.Engine.t ->
   container:Crane_fs.Container.t ->
   state_of:(unit -> string) ->
@@ -43,10 +44,15 @@ val create :
   alive_conns:(unit -> int) ->
   global_index:(unit -> int) ->
   t
+(** [max_backoffs] (default 20, i.e. 10 s of 500 ms retries) bounds the
+    alive-connection back-off: streaming clients that never drain would
+    otherwise wedge the checkpointer forever. *)
 
-val checkpoint_now : t -> checkpoint
+val checkpoint_now : t -> checkpoint option
 (** Blocking (simulated thread); performs the three steps above,
-    including the alive-connection back-off. *)
+    including the alive-connection back-off.  [None] when connections
+    never drained within [max_backoffs] retries — the round is skipped
+    and counted in {!checkpoints_skipped}. *)
 
 val latest : t -> checkpoint option
 
@@ -55,12 +61,23 @@ val restore : t -> checkpoint -> string * restore_timings
     it into the container's filesystem, restarts the container, restores
     the process image, and returns the state blob. *)
 
-val start_periodic : t -> ?period:Crane_sim.Time.t -> group:Crane_sim.Engine.group -> unit -> unit
+val start_periodic :
+  t ->
+  ?period:Crane_sim.Time.t ->
+  ?on_checkpoint:(checkpoint -> unit) ->
+  group:Crane_sim.Engine.group ->
+  unit ->
+  unit
 (** Checkpoint every [period] (default one minute, as in the paper) until
-    the group dies. *)
+    the group dies.  [on_checkpoint] fires after each successful round
+    (the instance uses it to hand the snapshot to consensus for
+    compaction); skipped rounds fire nothing. *)
 
 val checkpoints_taken : t -> int
 val backoffs : t -> int
+
+val checkpoints_skipped : t -> int
+(** Checkpoint rounds abandoned because connections never drained. *)
 
 (** Cost model for the filesystem checkpoint, exposed for tests. *)
 

@@ -13,8 +13,10 @@ module Dmt = Crane_dmt.Dmt
 module Wal = Crane_storage.Wal
 module Paxos = Crane_paxos.Paxos
 module Memfs = Crane_fs.Memfs
+module Fsdiff = Crane_fs.Fsdiff
 module Container = Crane_fs.Container
 module Manager = Crane_checkpoint.Manager
+module Criu = Crane_checkpoint.Criu
 
 type mode =
   | Full  (** DMT + time bubbling: the CRANE system *)
@@ -41,6 +43,10 @@ type config = {
   checkpoint_period : Time.t;
   container_stop : Time.t;  (** LXC stop cost (daemon-dependent, §5.2) *)
   container_start : Time.t;  (** LXC start cost *)
+  output_keep : int;
+      (** output-log entries retained after a compaction round frees the
+          prefix already acked by all peers (older entries fold into a
+          chain digest so consistency checks still cover them) *)
 }
 
 let default_config =
@@ -60,6 +66,7 @@ let default_config =
     checkpoint_period = Time.sec 60;
     container_stop = Time.ms 1200;
     container_start = Time.ms 2200;
+    output_keep = 65536;
   }
 
 type t = {
@@ -151,6 +158,34 @@ let boot ~eng ~fabric ~world ~rng ~wal ~members ~node ~(cfg : config) ~(server :
         runtime.Runtime.alive_conns () + Paxos_seq.queued_calls (Vhost.seq vhost))
       ~global_index:(fun () -> Paxos.applied paxos)
   in
+  Paxos.set_compaction_hooks paxos
+    {
+      (* A snapshot arrived through consensus catch-up and this replica is
+         about to fast-forward past [index].  When an out-of-band restore
+         (Cluster.restart shipping a checkpoint before boot) already
+         covers the index, the state is current and only the bookkeeping
+         moves; otherwise install the (process state, filesystem) pair
+         and discard any decided-but-unconsumed sequence entries — all at
+         or below the snapshot index, and quiescence-gated checkpoints
+         guarantee no connection spans the boundary. *)
+      Paxos.install_snapshot =
+        (fun ~index blob ->
+          if index > Proxy.skip_upto proxy then begin
+            (match (Marshal.from_string blob 0 : string * Memfs.snapshot) with
+            | state, snap ->
+              Memfs.restore fsys snap;
+              handle.Api.load_state state
+            | exception _ -> ());
+            Paxos_seq.clear (Vhost.seq vhost);
+            Proxy.set_skip_upto proxy index
+          end);
+      (* The watermark prefix is applied on every live replica: the
+         output entries it produced can be folded into the chain digest
+         and freed. *)
+      on_compact =
+        (fun ~watermark:_ ->
+          Output_log.trim_to (Vhost.output vhost) ~keep:cfg.output_keep);
+    };
   Paxos.start paxos ~as_primary ();
   { node; group; cfg; fsys; container; cores; vhost; proxy; paxos; dmt; runtime;
     handle; manager }
@@ -162,8 +197,19 @@ let replay_from t ~from_index =
   in
   List.iter (fun v -> Vhost.deliver t.vhost (Event.decode v)) values
 
+(* The application snapshot consensus disseminates for compaction and
+   snapshot catch-up: the CRIU state blob plus the checkpointed
+   filesystem (base patched forward), exactly what a restore needs. *)
+let snapshot_blob (c : Manager.checkpoint) =
+  let fs = Fsdiff.apply ~base:c.Manager.fs_base c.Manager.fs_patch in
+  Marshal.to_string (c.Manager.image.Criu.payload, fs) []
+
 let start_checkpointing t =
-  Manager.start_periodic t.manager ~period:t.cfg.checkpoint_period ~group:t.group ()
+  Manager.start_periodic t.manager ~period:t.cfg.checkpoint_period
+    ~on_checkpoint:(fun c ->
+      Paxos.offer_snapshot t.paxos ~index:c.Manager.global_index
+        ~blob:(snapshot_blob c))
+    ~group:t.group ()
 
 let kill ~eng t =
   Vhost.stop t.vhost;

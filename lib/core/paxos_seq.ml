@@ -103,6 +103,17 @@ let drain_bubble_upto t n =
   if t.bubble_left > 0 then t.bubble_left <- max 0 (t.bubble_left - n)
   else invalid_arg "Paxos_seq.drain_bubble_upto: head is not a bubble"
 
+(* Discard everything pending: a snapshot install supersedes any decided
+   entries still waiting in the sequence (they are all at or below the
+   snapshot's global index, and the restored state already embodies
+   them).  Quiescence-gated checkpoints guarantee no connection spans the
+   boundary, so nothing mid-conversation is lost. *)
+let clear t =
+  Queue.clear t.q;
+  t.bubble_left <- 0;
+  t.queued_calls <- 0;
+  t.last_nonempty <- Engine.now t.eng
+
 let length t = Queue.length t.q + if t.bubble_left > 0 then 1 else 0
 let max_depth t = t.max_depth
 let queued_calls t = t.queued_calls

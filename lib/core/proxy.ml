@@ -268,6 +268,13 @@ let stop t =
   t.stopped <- true;
   Queue.clear t.buf
 
+let skip_upto t = t.skip_upto
+
+(* A snapshot installed mid-life (catch-up fast-forward) extends the
+   range of decisions already embodied by the restored server state:
+   never deliver them again. *)
+let set_skip_upto t index = if index > t.skip_upto then t.skip_upto <- index
+
 let stats (t : t) : stats =
   {
     bubbles_proposed = t.bubbles_proposed;

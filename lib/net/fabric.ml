@@ -23,6 +23,7 @@ type t = {
   link_rngs : (node * node, Rng.t) Hashtbl.t;
   mutable base : Time.t;
   mutable jitter : Time.t;
+  mutable byte_cost : Time.t;
   mutable loss : float;
   up : (node, bool) Hashtbl.t;
   handlers : (node * int, src:endpoint -> message -> unit) Hashtbl.t;
@@ -44,6 +45,7 @@ let create eng rng =
     link_rngs = Hashtbl.create 64;
     base = Time.us 40;
     jitter = Time.us 20;
+    byte_cost = 8 (* ns/byte: 1 Gbps wire *);
     loss = 0.0;
     up = Hashtbl.create 16;
     handlers = Hashtbl.create 64;
@@ -60,6 +62,7 @@ let set_latency t ~base ~jitter =
   t.jitter <- jitter
 
 let set_loss t loss = t.loss <- loss
+let set_byte_cost t c = t.byte_cost <- c
 let node_up t n = Hashtbl.replace t.up n true
 let node_down t n = Hashtbl.replace t.up n false
 let is_up t n = match Hashtbl.find_opt t.up n with Some b -> b | None -> false
@@ -94,7 +97,7 @@ let sample_delay t rng =
   let j = if t.jitter > 0 then Rng.int rng t.jitter else 0 in
   t.base + j
 
-let send t ~src ~dst msg =
+let send ?(bytes = 0) t ~src ~dst msg =
   if not (Hashtbl.mem t.up src.node) then node_up t src.node;
   let link = (src.node, dst.node) in
   let rng = link_rng t link in
@@ -102,7 +105,9 @@ let send t ~src ~dst msg =
     t.dropped <- t.dropped + 1
   else begin
     let arrival =
-      let earliest = Engine.now t.eng + sample_delay t rng in
+      let earliest =
+        Engine.now t.eng + sample_delay t rng + (bytes * t.byte_cost)
+      in
       match Hashtbl.find_opt t.last_delivery link with
       | Some prev when prev > earliest -> prev
       | _ -> earliest

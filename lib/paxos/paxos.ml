@@ -10,6 +10,8 @@ type config = {
   election_timeout : Time.t;
   election_jitter : Time.t;
   round_retry : Time.t;
+  compaction_threshold : int;
+  catchup_chunk : int;
 }
 
 let default_config =
@@ -18,6 +20,8 @@ let default_config =
     election_timeout = Time.sec 3;
     election_jitter = Time.ms 300;
     round_retry = Time.ms 500;
+    compaction_threshold = 1024;
+    catchup_chunk = 256;
   }
 
 let paxos_port = 1
@@ -33,16 +37,29 @@ type Fabric.message +=
   | Accept_batch_ok of { aview : int; lo : int; hi : int }
   | Commit of { cview : int; committed : int }
   | Heartbeat of { hview : int; committed : int }
-  | Heartbeat_ok of { hview : int }
+  | Heartbeat_ok of { hview : int; h_applied : int }
   | View_change of { nview : int; cand_committed : int }
-  | View_change_ok of { nview : int; tail : wire_entry list; committed : int }
+  | View_change_ok of
+      { nview : int; tail : wire_entry list; committed : int; vbase : int }
   | Candidate of { nview : int }
   | Candidate_ok of { nview : int }
   | New_view of { nview : int; entries : wire_entry list; committed : int }
   | Catchup_req of { from_index : int }
   | Catchup_resp of { rview : int; primary : Fabric.node; entries : (int * string) list; committed : int }
+  | Snapshot_push of { s_index : int; blob : string }
+      (** checkpoint node disseminates the latest application snapshot *)
+  | Snapshot_resp of { s_index : int; blob : string; s_committed : int }
+      (** two-tier catch-up: the requested prefix is compacted away *)
+  | Compact of { cwatermark : int }
+      (** primary-coordinated watermark: drop log/ack entries <= it *)
 
-type wal_record = Wal_accept of int * int * string | Wal_commit of int
+type wal_record =
+  | Wal_accept of int * int * string
+  | Wal_commit of int
+  | Wal_trunc of { watermark : int; s_index : int; blob : string }
+      (** truncation header: entries <= [watermark] live in the snapshot
+          [blob] taken at [s_index]; everything older in the WAL is
+          logically void even if a crash left it on disk *)
 
 type handlers = {
   on_commit : index:int -> string -> unit;
@@ -50,6 +67,14 @@ type handlers = {
 }
 
 let null_handlers = { on_commit = (fun ~index:_ _ -> ()); on_demote = (fun () -> ()) }
+
+type compaction_hooks = {
+  install_snapshot : index:int -> string -> unit;
+  on_compact : watermark:int -> unit;
+}
+
+let null_hooks =
+  { install_snapshot = (fun ~index:_ _ -> ()); on_compact = (fun ~watermark:_ -> ()) }
 
 type election = {
   eview : int;
@@ -79,6 +104,16 @@ type t = {
   mutable applied : int;
   acks : (int, Fabric.node list) Hashtbl.t;
   mutable handlers : handlers;
+  mutable hooks : compaction_hooks;
+  (* Compaction: everything at or below [base] has been dropped from the
+     log/acks tables and truncated out of the WAL; [snapshot] is the most
+     recent application checkpoint seen (index, opaque blob), which is
+     what catch-up serves for requests below [base]. *)
+  mutable base : int;
+  mutable snapshot : (int * string) option;
+  (* Primary-side watermark input: last applied index each peer reported
+     in a Heartbeat_ok, with the instant it was heard. *)
+  peer_applied : (Fabric.node, int * Time.t) Hashtbl.t;
   (* Failure detection / election. *)
   mutable last_heartbeat : Time.t;
   (* Last instant any peer was heard from: a primary that loses quorum
@@ -94,6 +129,10 @@ type t = {
   mutable catchup_served : int;
   mutable catchup_installed : int;
   mutable wal_torn_discarded : int;
+  mutable compactions : int;
+  mutable snapshots_served : int;
+  mutable snapshots_installed : int;
+  mutable peak_log : int;
   (* Batching accounting (proposer side): proposed batches waiting for
      their whole index range to commit, oldest first, plus the committed
      histogram. *)
@@ -113,6 +152,13 @@ type stats = {
   last_election_duration : Time.t option;
   batches_committed : int;
   events_per_batch : (int * int) list;
+  compactions : int;
+  snapshots_served : int;
+  snapshots_installed : int;
+  log_base : int;
+  log_resident : int;
+  peak_log_resident : int;
+  acks_resident : int;
 }
 
 let node t = t.self
@@ -121,7 +167,10 @@ let primary t = t.primary
 let is_primary t = t.primary = Some t.self
 let committed t = t.committed
 let applied t = t.applied
+let base t = t.base
+let snapshot t = t.snapshot
 let set_handlers t handlers = t.handlers <- handlers
+let set_compaction_hooks t hooks = t.hooks <- hooks
 
 let stats (t : t) : stats =
   {
@@ -137,6 +186,13 @@ let stats (t : t) : stats =
     events_per_batch =
       Hashtbl.fold (fun size n acc -> (size, n) :: acc) t.batch_sizes []
       |> List.sort compare;
+    compactions = t.compactions;
+    snapshots_served = t.snapshots_served;
+    snapshots_installed = t.snapshots_installed;
+    log_base = t.base;
+    log_resident = Hashtbl.length t.log;
+    peak_log_resident = t.peak_log;
+    acks_resident = Hashtbl.length t.acks;
   }
 
 let fire_demote t =
@@ -181,13 +237,18 @@ let rec apply (t : t) =
       apply t
   end
 
-(* Retire proposed batches whose whole index range has now committed. *)
+(* Retire proposed batches whose whole index range has now committed.
+   The histogram key is clamped to a fixed bucket range so the table
+   cannot grow without bound under exotic batch sizes. *)
+let histogram_cap = 64
+
 let note_committed_batches t =
   let rec go () =
     match Queue.peek_opt t.open_batches with
     | Some (hi, size) when hi <= t.committed ->
       ignore (Queue.pop t.open_batches);
       t.batches_committed <- t.batches_committed + 1;
+      let size = min size histogram_cap in
       Hashtbl.replace t.batch_sizes size
         (1 + Option.value (Hashtbl.find_opt t.batch_sizes size) ~default:0);
       go ()
@@ -197,6 +258,11 @@ let note_committed_batches t =
 
 let set_committed t idx =
   if idx > t.committed then begin
+    (* Commit advancement retires the ack sets: once an index is
+       committed, quorum bookkeeping for it is dead weight. *)
+    for i = t.committed + 1 to idx do
+      Hashtbl.remove t.acks i
+    done;
     t.committed <- idx;
     note_committed_batches t;
     persist t (Wal_commit idx) (fun () -> ())
@@ -207,17 +273,28 @@ let set_committed t idx =
   apply t
 
 let store_entry t ~index ~eview ~value =
-  (match Hashtbl.find_opt t.log index with
-  | Some (v, _) when v > eview -> ()
-  | Some _ | None -> Hashtbl.replace t.log index (eview, value));
-  if index > t.last_index then t.last_index <- index
+  (* Indices at or below the compaction base are covered by the snapshot:
+     the log never holds them again (a stale retransmission must not
+     resurrect a dropped prefix). *)
+  if index > t.base then begin
+    (match Hashtbl.find_opt t.log index with
+    | Some (v, _) when v > eview -> ()
+    | Some _ | None -> Hashtbl.replace t.log index (eview, value));
+    let n = Hashtbl.length t.log in
+    if n > t.peak_log then t.peak_log <- n;
+    if index > t.last_index then t.last_index <- index
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Normal case: primary order (one round trip + durable write). *)
 
 let record_ack t ~index ~from =
-  let cur = match Hashtbl.find_opt t.acks index with Some l -> l | None -> [] in
-  if not (List.mem from cur) then Hashtbl.replace t.acks index (from :: cur)
+  (* Straggler acks for already-committed indices would silently regrow
+     the table set_committed just pruned. *)
+  if index > t.committed then begin
+    let cur = match Hashtbl.find_opt t.acks index with Some l -> l | None -> [] in
+    if not (List.mem from cur) then Hashtbl.replace t.acks index (from :: cur)
+  end
 
 let advance_commits t =
   let progressed = ref false in
@@ -236,6 +313,92 @@ let advance_commits t =
     | Some _ | None -> continue_ := false
   done;
   if !progressed then cast t (Commit { cview = t.view; committed = t.committed })
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint-coordinated log compaction (§5.2: recovery is a checkpoint
+   plus the post-checkpoint suffix, so everything below the watermark can
+   be dropped from every long-lived structure). *)
+
+let wal_drop_record wm data =
+  match (Marshal.from_string data 0 : wal_record) with
+  | Wal_accept (_, idx, _) -> idx <= wm
+  | Wal_commit idx -> idx <= wm
+  | Wal_trunc _ -> true (* superseded by the newer header *)
+  | exception _ -> true
+
+(* Drop log/ack entries <= wm and truncate the WAL to a (watermark,
+   snapshot) header plus suffix.  Only safe — and only attempted — when a
+   snapshot covering wm is held: the snapshot is what catch-up serves in
+   place of the dropped prefix. *)
+let compact_to (t : t) wm =
+  let wm = min wm t.applied in
+  if wm > t.base then
+    match t.snapshot with
+    | Some (s_index, blob) when s_index >= wm ->
+      for idx = t.base + 1 to wm do
+        Hashtbl.remove t.log idx;
+        Hashtbl.remove t.acks idx
+      done;
+      t.base <- wm;
+      t.compactions <- t.compactions + 1;
+      (let tr = trace t in
+       if Trace.enabled tr then
+         Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+           ~node:t.self ~cat:"paxos" ~name:"compact"
+           [ ("watermark", Trace.Int wm); ("snapshot", Trace.Int s_index) ]);
+      let header =
+        Marshal.to_string (Wal_trunc { watermark = wm; s_index; blob } : wal_record) []
+      in
+      Wal.truncate_to t.wal ~header ~drop:(wal_drop_record wm) (fun () -> ());
+      t.hooks.on_compact ~watermark:wm
+    | Some _ | None -> ()
+
+(* Primary-side watermark: min applied index across live replicas (peers
+   silent for an election timeout are presumed dead — they recover via
+   the snapshot path), capped by the snapshot index since the snapshot is
+   the only substitute for dropped entries. *)
+let maybe_compact (t : t) =
+  if t.cfg.compaction_threshold > 0 && is_primary t then
+    match t.snapshot with
+    | None -> ()
+    | Some (s_index, _) ->
+      let now = Engine.now t.eng in
+      let wm =
+        List.fold_left
+          (fun acc n ->
+            if n = t.self then acc
+            else
+              match Hashtbl.find_opt t.peer_applied n with
+              | Some (a, heard) when now - heard <= t.cfg.election_timeout ->
+                min acc a
+              | Some _ | None -> acc)
+          (min t.applied s_index) t.members
+      in
+      if wm - t.base >= t.cfg.compaction_threshold then begin
+        cast t (Compact { cwatermark = wm });
+        compact_to t wm
+      end
+
+(* Adopt a fresh application snapshot (from the checkpoint component) and
+   disseminate it: every replica holding the blob can serve snapshot
+   catch-up and survive the primary compacting past its own WAL. *)
+let offer_snapshot (t : t) ~index ~blob =
+  match t.snapshot with
+  | Some (i, _) when i >= index -> ()
+  | Some _ | None ->
+    t.snapshot <- Some (index, blob);
+    (let tr = trace t in
+     if Trace.enabled tr then
+       Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+         ~node:t.self ~cat:"paxos" ~name:"snapshot_offer"
+         [ ("index", Trace.Int index); ("bytes", Trace.Int (String.length blob)) ]);
+    List.iter
+      (fun n ->
+        Fabric.send t.fabric ~bytes:(String.length blob) ~src:(ep t.self)
+          ~dst:(ep n)
+          (Snapshot_push { s_index = index; blob }))
+      (others t);
+    maybe_compact t
 
 let submit t value =
   if not (is_primary t) then false
@@ -484,15 +647,41 @@ let rec election_monitor t =
 (* ------------------------------------------------------------------ *)
 (* Message handling. *)
 
-let send_catchup (t : t) ~dst ~from_index =
-  let entries =
-    List.filter_map
-      (fun (idx, _, value) -> if idx <= t.committed then Some (idx, value) else None)
-      (log_tail t ~from_index)
+(* One bounded page of committed entries.  The requester re-requests from
+   its new applied index after installing a page, so a lagging replica
+   streams the tail chunk by chunk instead of triggering one unbounded
+   message burst on the fabric. *)
+let serve_entries (t : t) ~dst ~from_index =
+  let chunk = max 1 t.cfg.catchup_chunk in
+  let rec collect idx acc n =
+    if idx > t.committed || n >= chunk then List.rev acc
+    else
+      match Hashtbl.find_opt t.log idx with
+      | Some (_, value) -> collect (idx + 1) ((idx, value) :: acc) (n + 1)
+      | None -> collect (idx + 1) acc n
   in
+  let entries = collect (max (t.base + 1) from_index) [] 0 in
   t.catchup_served <- t.catchup_served + List.length entries;
   tell t dst
     (Catchup_resp { rview = t.view; primary = Option.value t.primary ~default:t.self; entries; committed = t.committed })
+
+(* Two-tier catch-up: below the compaction base the log is gone, so the
+   reply is the latest snapshot (streamed with its transfer cost), and
+   the requester comes back for the suffix with an ordinary chunked
+   request. *)
+let send_catchup (t : t) ~dst ~from_index =
+  match t.snapshot with
+  | Some (s_index, blob) when from_index <= t.base && s_index >= from_index ->
+    t.snapshots_served <- t.snapshots_served + 1;
+    (let tr = trace t in
+     if Trace.enabled tr then
+       Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+         ~node:t.self ~cat:"paxos" ~name:"snapshot_serve"
+         [ ("index", Trace.Int s_index); ("to", Trace.Str dst) ]);
+    Fabric.send t.fabric ~bytes:(String.length blob) ~src:(ep t.self)
+      ~dst:(ep dst)
+      (Snapshot_resp { s_index; blob; s_committed = t.committed })
+  | Some _ | None -> serve_entries t ~dst ~from_index
 
 let handle (t : t) ~src msg =
   let from = src.Fabric.node in
@@ -574,8 +763,9 @@ let handle (t : t) ~src msg =
     end
     else if hview = t.view then begin
       t.last_heartbeat <- Engine.now t.eng;
-      (* Ack so the primary knows it still has quorum contact. *)
-      tell t from (Heartbeat_ok { hview });
+      (* Ack so the primary knows it still has quorum contact; the
+         applied index feeds its compaction watermark. *)
+      tell t from (Heartbeat_ok { hview; h_applied = t.applied });
       if Some from <> t.primary then t.primary <- Some from;
       (if committed > t.committed then
          if committed > t.last_index then
@@ -588,7 +778,13 @@ let handle (t : t) ~src msg =
       if t.applied < t.committed && not (Hashtbl.mem t.log (t.applied + 1)) then
         tell t from (Catchup_req { from_index = t.applied + 1 })
     end
-  | Heartbeat_ok _ -> () (* peer contact already noted above *)
+  | Heartbeat_ok { hview; h_applied } ->
+    (* Peer contact already noted above; a current-view ack also reports
+       how far the peer has applied, driving the compaction watermark. *)
+    if hview = t.view && is_primary t then begin
+      Hashtbl.replace t.peer_applied from (h_applied, Engine.now t.eng);
+      maybe_compact t
+    end
   | View_change { nview; cand_committed } ->
     if nview > t.max_view_seen then begin
       t.max_view_seen <- nview;
@@ -599,12 +795,23 @@ let handle (t : t) ~src msg =
       t.last_heartbeat <- Engine.now t.eng;
       tell t from
         (View_change_ok
-           { nview; tail = log_tail t ~from_index:(cand_committed + 1); committed = t.committed })
+           { nview;
+             tail = log_tail t ~from_index:(cand_committed + 1);
+             committed = t.committed;
+             vbase = t.base })
     end
-  | View_change_ok { nview; tail; committed } -> (
+  | View_change_ok { nview; tail; committed; vbase } -> (
     match t.election with
     | Some e when e.eview = nview && e.phase = `Collect ->
-      if not (List.mem from e.oks) then begin
+      if vbase > t.applied then begin
+        (* The responder compacted past our applied prefix: its tail
+           cannot contain the entries we are missing below its base, so
+           winning this election would leave an unfillable hole.  Abort
+           and snapshot-catch-up first; the election monitor retries. *)
+        t.election <- None;
+        tell t from (Catchup_req { from_index = t.applied + 1 })
+      end
+      else if not (List.mem from e.oks) then begin
         e.oks <- from :: e.oks;
         e.tails <- (from, tail, committed) :: e.tails;
         check_election_progress t e
@@ -634,14 +841,59 @@ let handle (t : t) ~src msg =
   | Catchup_resp { rview; primary; entries; committed } ->
     if rview >= t.view then begin
       if rview > t.view then become_backup t ~nview:rview ~primary:(Some primary);
+      let applied_before = t.applied in
       List.iter
         (fun (idx, value) ->
           if not (Hashtbl.mem t.log idx) then
             t.catchup_installed <- t.catchup_installed + 1;
           store_entry t ~index:idx ~eview:rview ~value)
         entries;
-      set_committed t committed
+      set_committed t committed;
+      (* Continuation: the server pages its committed tail, so as long as
+         this page made progress and more remains, pull the next chunk.
+         No progress (an empty or useless page) ends the loop — the
+         heartbeat gap-healer retries later rather than spinning. *)
+      if entries <> [] && t.applied > applied_before && t.applied < committed
+      then tell t from (Catchup_req { from_index = t.applied + 1 })
     end
+  | Snapshot_push { s_index; blob } ->
+    (match t.snapshot with
+    | Some (i, _) when i >= s_index -> ()
+    | Some _ | None -> t.snapshot <- Some (s_index, blob));
+    (* A primary learning of a fresh checkpoint may now be able to
+       advance the watermark. *)
+    maybe_compact t
+  | Snapshot_resp { s_index; blob; s_committed } ->
+    if s_index > t.applied then begin
+      (match t.snapshot with
+      | Some (i, _) when i >= s_index -> ()
+      | Some _ | None -> t.snapshot <- Some (s_index, blob));
+      t.snapshots_installed <- t.snapshots_installed + 1;
+      (let tr = trace t in
+       if Trace.enabled tr then
+         Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+           ~node:t.self ~cat:"paxos" ~name:"snapshot_install"
+           [ ("index", Trace.Int s_index);
+             ("behind", Trace.Int (s_index - t.applied)) ]);
+      t.hooks.install_snapshot ~index:s_index blob;
+      (* Fast-forward: everything at or below the snapshot index is
+         covered by the image, so jump applied/committed over it, drop
+         the covered log prefix and persist the jump as a truncation
+         header (a crash right after this recovers past the snapshot
+         too, instead of replaying a history it no longer holds). *)
+      if s_index > t.last_index then t.last_index <- s_index;
+      if s_index > t.committed then t.committed <- s_index;
+      t.applied <- s_index;
+      compact_to t s_index;
+      apply t;
+      if s_committed > t.applied then
+        tell t from (Catchup_req { from_index = t.applied + 1 })
+    end
+  | Compact { cwatermark } ->
+    (* Primary-coordinated: only drop what the local snapshot can cover
+       (compact_to re-checks); a replica without the snapshot keeps its
+       log and compacts on a later round. *)
+    if Some from = t.primary then compact_to t cwatermark
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -656,6 +908,20 @@ let recover_from_wal (t : t) =
       match (Marshal.from_string e.Wal.data 0 : wal_record) with
       | Wal_accept (v, idx, value) -> store_entry t ~index:idx ~eview:v ~value
       | Wal_commit idx -> if idx > t.committed then t.committed <- idx
+      | Wal_trunc { watermark; s_index; blob } ->
+        (* A crash between the header write and the physical prefix drop
+           leaves both on disk: records already absorbed below the
+           watermark are void (the snapshot covers them), so processing
+           headers in log order makes recovery idempotent. *)
+        for idx = t.base + 1 to watermark do
+          Hashtbl.remove t.log idx
+        done;
+        if watermark > t.base then t.base <- watermark;
+        if watermark > t.committed then t.committed <- watermark;
+        if watermark > t.last_index then t.last_index <- watermark;
+        (match t.snapshot with
+        | Some (i, _) when i >= s_index -> ()
+        | Some _ | None -> t.snapshot <- Some (s_index, blob))
       | exception _ -> t.wal_torn_discarded <- t.wal_torn_discarded + 1
   in
   List.iter absorb (Wal.entries t.wal);
@@ -667,7 +933,7 @@ let recover_from_wal (t : t) =
   let rec contiguous idx =
     if Hashtbl.mem t.log (idx + 1) then contiguous (idx + 1) else idx
   in
-  t.committed <- min t.committed (contiguous 0);
+  t.committed <- min t.committed (contiguous t.base);
   (* The server restarts from a checkpoint and replays explicitly
      (get_committed_range), so recovered history is not re-applied. *)
   t.applied <- t.committed
@@ -692,6 +958,10 @@ let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group ()
       applied = 0;
       acks = Hashtbl.create 1024;
       handlers = null_handlers;
+      hooks = null_hooks;
+      base = 0;
+      snapshot = None;
+      peer_applied = Hashtbl.create 8;
       last_heartbeat = Time.zero;
       last_peer_contact = Time.zero;
       election = None;
@@ -703,6 +973,10 @@ let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group ()
       catchup_served = 0;
       catchup_installed = 0;
       wal_torn_discarded = 0;
+      compactions = 0;
+      snapshots_served = 0;
+      snapshots_installed = 0;
+      peak_log = 0;
       open_batches = Queue.create ();
       batches_committed = 0;
       batch_sizes = Hashtbl.create 16;

@@ -27,6 +27,12 @@ type config = {
   election_timeout : Crane_sim.Time.t;  (** default 3 s *)
   election_jitter : Crane_sim.Time.t;  (** extra per-node random delay, default 300 ms *)
   round_retry : Crane_sim.Time.t;  (** view-change retry backoff, default 500 ms *)
+  compaction_threshold : int;
+      (** entries above the compaction base before the primary coordinates
+          a compaction round; [<= 0] disables compaction entirely.
+          Default 1024 *)
+  catchup_chunk : int;
+      (** max committed entries per catch-up response page, default 256 *)
 }
 
 val default_config : config
@@ -99,7 +105,47 @@ val committed : t -> int
 val applied : t -> int
 
 val get_committed_range : t -> lo:int -> hi:int -> string list
-(** Committed values with indices in [lo..hi] (for checkpoint replay). *)
+(** Committed values with indices in [lo..hi] (for checkpoint replay).
+    Indices at or below {!base} are compacted away and yield []. *)
+
+(** {2 Checkpoint-coordinated log compaction (§5.2)}
+
+    The checkpoint component hands each application snapshot to consensus
+    via {!offer_snapshot}; the receiving replica disseminates the blob to
+    its peers.  The primary tracks how far every live replica has applied
+    (piggybacked on heartbeat acks) and, once
+    [min applied - base >= compaction_threshold], broadcasts a watermark:
+    each replica drops log/ack entries at or below it and truncates its
+    WAL to a crash-safe [(watermark, snapshot)] header plus suffix
+    ({!Crane_storage.Wal.truncate_to}).  Catch-up below the base serves
+    the snapshot instead of log entries — recovery of a long-lagging
+    replica costs O(delta since checkpoint), not O(history). *)
+
+val base : t -> int
+(** Compaction base: highest index dropped from the log (0 = nothing
+    compacted).  Always [<= applied]. *)
+
+val snapshot : t -> (int * string) option
+(** Latest application snapshot held: [(index, opaque blob)]. *)
+
+val offer_snapshot : t -> index:int -> blob:string -> unit
+(** Adopt a fresh application snapshot covering all entries [<= index]
+    and push it to peers (bulk transfer cost charged through the fabric).
+    Older offers than the held snapshot are ignored. *)
+
+type compaction_hooks = {
+  install_snapshot : index:int -> string -> unit;
+      (** a snapshot arrived via catch-up and this replica is about to
+          fast-forward past [index]: restore application state from the
+          blob (no-op if an out-of-band restore already covered it) *)
+  on_compact : watermark:int -> unit;
+      (** the local log just compacted to [watermark]: the application
+          may free its own bounded-history structures (output log) *)
+}
+
+val set_compaction_hooks : t -> compaction_hooks -> unit
+(** Default hooks do nothing — plain consensus users (tests, benches)
+    need not care. *)
 
 (** {2 Statistics}
 
@@ -134,7 +180,19 @@ type stats = {
       (** proposed batches whose whole index range has committed *)
   events_per_batch : (int * int) list;
       (** histogram of committed batch sizes: [(size, batches)] pairs in
-          ascending size order ({!submit} counts as size 1) *)
+          ascending size order ({!submit} counts as size 1; sizes are
+          clamped to a fixed bucket cap of 64 so the table is bounded) *)
+  compactions : int;  (** compaction rounds applied on this node *)
+  snapshots_served : int;  (** catch-up requests answered with a snapshot *)
+  snapshots_installed : int;
+      (** snapshots this node installed via catch-up (fast-forwarding
+          past its missing prefix) *)
+  log_base : int;  (** current compaction base *)
+  log_resident : int;  (** entries currently resident in the log table *)
+  peak_log_resident : int;
+      (** high-water mark of resident log entries — the boundedness
+          metric BENCH_recovery.json plots against history length *)
+  acks_resident : int;  (** entries currently resident in the ack table *)
 }
 
 val stats : t -> stats

@@ -17,6 +17,13 @@ type t = {
   inflight : (int, string) Hashtbl.t;
   mutable next_write_id : int;
   mutable torn_tails : int;
+  (* Truncations whose header is durable but whose physical prefix drop
+     has not yet hit the device.  A crash in this window leaves header +
+     old entries on disk; recovery must tolerate both being present. *)
+  pending_truncs : (int, unit) Hashtbl.t;
+  mutable next_trunc_id : int;
+  mutable truncations : int;
+  mutable dropped : int;
 }
 
 let create ?(write_latency = Time.us 15) eng ~name =
@@ -30,6 +37,10 @@ let create ?(write_latency = Time.us 15) eng ~name =
     inflight = Hashtbl.create 8;
     next_write_id = 0;
     torn_tails = 0;
+    pending_truncs = Hashtbl.create 2;
+    next_trunc_id = 0;
+    dropped = 0;
+    truncations = 0;
   }
 
 let name t = t.wname
@@ -91,12 +102,48 @@ let append_batch t records =
   Engine.suspend t.eng (fun wake ->
       append_batch_async t records (fun () -> ignore (wake ())))
 
+(* Two-phase log truncation.  Phase 1 durably appends [header] (which
+   must encode everything needed to reinterpret the surviving suffix —
+   watermark, checkpoint id).  Phase 2, a separate device operation,
+   physically drops every {e older} intact record matching [drop].  A
+   crash between the phases leaves the header plus the old records; the
+   drop predicate is only consulted for records that predate the header,
+   so re-running truncation after recovery converges to the same state. *)
+let truncate_to t ~header ~drop k =
+  t.truncations <- t.truncations + 1;
+  append_async t header (fun () ->
+      let tid = t.next_trunc_id in
+      t.next_trunc_id <- tid + 1;
+      Hashtbl.replace t.pending_truncs tid ();
+      Engine.at t.eng (stable_time t) (fun () ->
+          if Hashtbl.mem t.pending_truncs tid then begin
+            Hashtbl.remove t.pending_truncs tid;
+            (* [stable] is newest first; keep everything from the head
+               down to and including the header, filter what's older. *)
+            let rec split acc = function
+              | [] -> (List.rev acc, [])
+              | e :: rest when (not e.torn) && e.data == header ->
+                (List.rev (e :: acc), rest)
+              | e :: rest -> split (e :: acc) rest
+            in
+            let newer, older = split [] t.stable in
+            let kept =
+              List.filter (fun e -> (not e.torn) && not (drop e.data)) older
+            in
+            t.dropped <- t.dropped + (List.length older - List.length kept);
+            t.stable <- newer @ kept;
+            k ()
+          end))
+
 let crash_torn_tail t =
   let pending =
     Hashtbl.fold (fun id data acc -> (id, data) :: acc) t.inflight []
     |> List.sort compare
   in
   Hashtbl.reset t.inflight;
+  (* The process died before issuing the physical drop: the header (if
+     it made it to the device) plus the old records both survive. *)
+  Hashtbl.reset t.pending_truncs;
   match pending with
   | [] -> false
   | (_, data) :: _ ->
@@ -115,8 +162,11 @@ let records t =
 let length t = List.length t.stable
 let writes t = t.writes
 let torn_tails t = t.torn_tails
+let truncations t = t.truncations
+let dropped t = t.dropped
 
 let reset t =
   t.stable <- [];
   t.writes <- 0;
-  Hashtbl.reset t.inflight
+  Hashtbl.reset t.inflight;
+  Hashtbl.reset t.pending_truncs

@@ -37,6 +37,17 @@ val append_batch : t -> string list -> unit
 (** Blocking variant of {!append_batch_async}; call from a simulated
     thread. *)
 
+val truncate_to : t -> header:string -> drop:(string -> bool) -> (unit -> unit) -> unit
+(** Crash-safe two-phase log truncation.  Durably appends [header] (one
+    fsync), then — as a second, later device operation — physically
+    removes every intact record {e older than the header} for which
+    [drop] returns [true] (older torn tails are removed unconditionally).
+    The continuation fires once the prefix is gone.  Crash semantics:
+    before the header is stable, the log is untouched (the header itself
+    may land torn); between header and drop, both the header and the old
+    records survive — recovery must treat records superseded by a header
+    as idempotent, and a later re-truncation will drop them. *)
+
 val crash_torn_tail : t -> bool
 (** Model a process crash mid-append: the oldest in-flight (submitted,
     not yet stable) record lands as a torn partial tail, younger in-flight
@@ -56,6 +67,12 @@ val writes : t -> int
 
 val torn_tails : t -> int
 (** Number of torn partial records ever produced by crashes. *)
+
+val truncations : t -> int
+(** Number of truncations started (header submitted). *)
+
+val dropped : t -> int
+(** Total records physically removed by completed truncations. *)
 
 val reset : t -> unit
 (** Wipe the log (modelling disk replacement in tests). *)

@@ -20,6 +20,8 @@ let fast_paxos =
     election_timeout = Time.ms 300;
     election_jitter = Time.ms 50;
     round_retry = Time.ms 100;
+    compaction_threshold = Crane_paxos.Paxos.default_config.compaction_threshold;
+    catchup_chunk = Crane_paxos.Paxos.default_config.catchup_chunk;
   }
 
 let cluster_cfg ?(port = 80) mode =

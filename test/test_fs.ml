@@ -173,7 +173,11 @@ let test_checkpoint_roundtrip () =
       state := "state-at-42";
       index := 42;
       Memfs.append (Container.fs container) ~path:"install/conf" "\nv=2";
-      let ckpt = Manager.checkpoint_now mgr in
+      let ckpt =
+        match Manager.checkpoint_now mgr with
+        | Some c -> c
+        | None -> Alcotest.fail "checkpoint skipped unexpectedly"
+      in
       Alcotest.(check int) "index captured" 42 ckpt.Manager.global_index;
       (* Mutate, then restore. *)
       state := "later";
@@ -201,7 +205,11 @@ let test_checkpoint_timings_magnitude () =
   let eng = Engine.create () in
   let mgr, _, _, _, _ = make_manager eng in
   Engine.spawn eng ~name:"ckpt" (fun () ->
-      let ckpt = Manager.checkpoint_now mgr in
+      let ckpt =
+        match Manager.checkpoint_now mgr with
+        | Some c -> c
+        | None -> Alcotest.fail "checkpoint skipped unexpectedly"
+      in
       let { Manager.c_process; c_fs } = ckpt.Manager.timings in
       (* 4 MB image: tens of ms; container bounce dominates C fs. *)
       Alcotest.(check bool) "C_p tens of ms" true

@@ -22,6 +22,8 @@ let fast_config =
     election_timeout = Time.ms 300;
     election_jitter = Time.ms 50;
     round_retry = Time.ms 100;
+    compaction_threshold = Crane_paxos.Paxos.default_config.compaction_threshold;
+    catchup_chunk = Crane_paxos.Paxos.default_config.catchup_chunk;
   }
 
 let members = [ "n1"; "n2"; "n3" ]
