@@ -696,6 +696,32 @@ let servers_cmd () =
   print_endline "modes: native parrot paxos-only crane plan2";
   0
 
+(* Crane-San: happens-before race detection, lock-order lint and the
+   determinism certifier over the bundled servers.  Exit is nonzero on
+   any NEW finding (see Driver.problems): a race/inversion/cond-hold in
+   a target expected clean, a missed seeded race, or a replay-digest
+   mismatch. *)
+let analyze_cmd targets seed list =
+  let module Driver = Crane_analysis.Driver in
+  if list then begin
+    print_endline "analyze targets:";
+    List.iter (fun n -> Printf.printf "  %s\n" n) Driver.target_names;
+    0
+  end
+  else begin
+    let targets = match targets with [] -> Driver.target_names | ts -> ts in
+    List.iter
+      (fun t ->
+        if not (List.mem t Driver.target_names) then begin
+          Printf.eprintf "unknown analyze target %s (try --list)\n" t;
+          exit 2
+        end)
+      targets;
+    let outcomes = Driver.analyze ~seed ~targets () in
+    print_string (Driver.render ~seed outcomes);
+    if Driver.problems outcomes = [] then 0 else 1
+  end
+
 (* ---- cmdliner plumbing ---- *)
 
 let server_arg =
@@ -771,6 +797,16 @@ let trace_term =
   Term.(const trace_cmd $ server_arg $ mode_arg $ clients_arg $ requests_arg
         $ seed_arg $ format_arg $ out_arg)
 
+let analyze_targets_arg =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"TARGET" ~doc:"Targets to analyze (default: all; see --list).")
+
+let analyze_list_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List analyze targets and exit.")
+
+let analyze_term =
+  Term.(const analyze_cmd $ analyze_targets_arg $ seed_arg $ analyze_list_arg)
+
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run a workload against a server in a chosen deployment mode.") run_term;
@@ -788,6 +824,11 @@ let cmds =
              ~doc:"Measure straggler recovery time and peak resident log with \
                    compaction on vs. off; write BENCH_recovery.json.")
           bench_recovery_term ];
+    Cmd.v
+      (Cmd.info "analyze"
+         ~doc:"Crane-San: race detection, lock-order lint and determinism \
+               certification across the bundled servers and runtimes.")
+      analyze_term;
     Cmd.v (Cmd.info "servers" ~doc:"List available servers and modes.") servers_term;
   ]
 

@@ -1,0 +1,27 @@
+(** Vector clocks for the happens-before engine (FastTrack-style).
+
+    A clock maps engine thread ids to logical times.  Missing entries
+    read as 0, so the empty map is the bottom element and [join] is a
+    pointwise max. *)
+
+module M = Map.Make (Int)
+
+type t = int M.t
+
+let empty : t = M.empty
+
+let get (vc : t) tid = match M.find_opt tid vc with Some c -> c | None -> 0
+
+let tick (vc : t) tid = M.add tid (get vc tid + 1) vc
+
+let join (a : t) (b : t) : t = M.union (fun _ x y -> Some (max x y)) a b
+
+(* Is the epoch (tid, clock) covered by [vc] — i.e. does everything up to
+   [clock] on [tid] happen before the point whose clock is [vc]? *)
+let covers (vc : t) ~tid ~clock = clock <= get vc tid
+
+let to_string (vc : t) =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (t, c) -> Printf.sprintf "%d:%d" t c) (M.bindings vc))
+  ^ "}"

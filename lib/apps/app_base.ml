@@ -16,11 +16,16 @@ module Make (R : Api.API) = struct
       mu : R.mutex;
       nonempty : R.cond;
       items : 'a Queue.t;
-      mutable closed : bool;
+      closed : bool R.cell;
     }
 
-    let create () =
-      { mu = R.mutex (); nonempty = R.cond (); items = Queue.create (); closed = false }
+    let create ?(name = "worklist") () =
+      {
+        mu = R.mutex ~name:(name ^ ".mu") ();
+        nonempty = R.cond ~name:(name ^ ".nonempty") ();
+        items = Queue.create ();
+        closed = R.cell ~name:(name ^ ".closed") false;
+      }
 
     let add t item =
       R.lock t.mu;
@@ -31,7 +36,7 @@ module Make (R : Api.API) = struct
     (* None once closed and drained. *)
     let get t =
       R.lock t.mu;
-      while Queue.is_empty t.items && not t.closed do
+      while Queue.is_empty t.items && not (R.cell_get t.closed) do
         R.cond_wait t.nonempty t.mu
       done;
       let item = Queue.take_opt t.items in
@@ -40,7 +45,7 @@ module Make (R : Api.API) = struct
 
     let close t =
       R.lock t.mu;
-      t.closed <- true;
+      R.cell_set t.closed true;
       R.cond_broadcast t.nonempty;
       R.unlock t.mu
   end
@@ -75,18 +80,21 @@ module Make (R : Api.API) = struct
       (Httpkit.response ~now:(Time.to_string (R.now ())) ~status ?headers body)
 
   (* Counter protected by a mutex: servers use it for request stats, and
-     its value is part of the checkpointed process state. *)
+     its value is part of the checkpointed process state.  The value
+     lives in a monitored cell so the sanitizer can vouch that every
+     access is ordered. *)
   module Counter = struct
-    type t = { mu : R.mutex; mutable n : int }
+    type t = { mu : R.mutex; n : int R.cell }
 
-    let create () = { mu = R.mutex (); n = 0 }
+    let create ?(name = "counter") () =
+      { mu = R.mutex ~name:(name ^ ".mu") (); n = R.cell ~name 0 }
 
     let incr t =
       R.lock t.mu;
-      t.n <- t.n + 1;
+      R.cell_set t.n (R.cell_get t.n + 1);
       R.unlock t.mu
 
-    let get t = t.n
-    let set t v = t.n <- v
+    let get t = R.cell_get t.n
+    let set t v = R.cell_set t.n v
   end
 end

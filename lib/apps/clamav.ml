@@ -57,10 +57,10 @@ let server ?(cfg = default_config) () : Api.server =
   let boot api =
     let module R = (val api : Api.API) in
     let module B = App_base.Make (R) in
-    let scanned = B.Counter.create () in
-    let stopped = ref false in
-    let worklist = B.Worklist.create () in
-    let db_mu = R.mutex () in
+    let scanned = B.Counter.create ~name:"clamd.scanned" () in
+    let stopped = R.cell ~name:"clamd.stopped" false in
+    let worklist = B.Worklist.create ~name:"clamd.worklist" () in
+    let db_mu = R.mutex ~name:"clamd.db" () in
     (* One SCAN command: walk the directory, scan each file.  Scanning is
        CPU-bound in small slices with thread-local allocator syncs; the
        shared engine lock (db_mu) is taken once per file — under DMT a
@@ -93,8 +93,8 @@ let server ?(cfg = default_config) () : Api.server =
       B.Counter.incr scanned;
       R.send conn (Printf.sprintf "%s: OK (%d infected)\n" dir !found)
     in
-    let worker () =
-      let arena = R.mutex () in
+    let worker i =
+      let arena = R.mutex ~name:(Printf.sprintf "clamd.arena%d" i) () in
       let rec loop () =
         match B.Worklist.get worklist with
         | None -> ()
@@ -139,13 +139,13 @@ let server ?(cfg = default_config) () : Api.server =
     in
     R.spawn ~name:"clamd-listener" (fun () ->
         let l = R.listen ~port:cfg.port in
-        while not !stopped do
+        while not (R.cell_get stopped) do
           R.poll l;
           let conn = R.accept l in
           B.Worklist.add worklist conn
         done);
     for i = 1 to cfg.nworkers do
-      R.spawn ~name:(Printf.sprintf "clamd-worker%d" i) (fun () -> worker ())
+      R.spawn ~name:(Printf.sprintf "clamd-worker%d" i) (fun () -> worker i)
     done;
     {
       Api.server_name = "clamav";
@@ -154,7 +154,7 @@ let server ?(cfg = default_config) () : Api.server =
       mem_bytes = (fun () -> cfg.mem_bytes);
       stop =
         (fun () ->
-          stopped := true;
+          R.cell_set stopped true;
           B.Worklist.close worklist);
     }
   in

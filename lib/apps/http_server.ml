@@ -37,9 +37,9 @@ let make ~name ~(cfg : config) : Api.server =
   let boot api =
     let module R = (val api : Api.API) in
     let module B = App_base.Make (R) in
-    let served = B.Counter.create () in
-    let stopped = ref false in
-    let worklist = B.Worklist.create () in
+    let served = B.Counter.create ~name:(name ^ ".served") () in
+    let stopped = R.cell ~name:(name ^ ".stopped") false in
+    let worklist = B.Worklist.create ~name:(name ^ ".worklist") () in
     (* Soft barrier initialized in main() — hint line 1. *)
     let barrier =
       if cfg.hints then
@@ -75,7 +75,7 @@ let make ~name ~(cfg : config) : Api.server =
       | _ -> B.http_respond conn ~status:500 "unsupported method"
     in
     let worker i =
-      let arena = R.mutex () in
+      let arena = R.mutex ~name:(Printf.sprintf "%s.arena%d" name i) () in
       (* per-worker interpreter arena *)
       let rec loop () =
         match B.Worklist.get worklist with
@@ -96,7 +96,7 @@ let make ~name ~(cfg : config) : Api.server =
     in
     R.spawn ~name:(name ^ "-listener") (fun () ->
         let l = R.listen ~port:cfg.port in
-        while not !stopped do
+        while not (R.cell_get stopped) do
           R.poll l;
           let conn = R.accept l in
           B.Worklist.add worklist conn
@@ -111,7 +111,7 @@ let make ~name ~(cfg : config) : Api.server =
       mem_bytes = (fun () -> cfg.mem_bytes);
       stop =
         (fun () ->
-          stopped := true;
+          R.cell_set stopped true;
           B.Worklist.close worklist);
     }
   in

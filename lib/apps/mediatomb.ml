@@ -41,9 +41,9 @@ let server ?(cfg = default_config) () : Api.server =
   let boot api =
     let module R = (val api : Api.API) in
     let module B = App_base.Make (R) in
-    let transcoded = B.Counter.create () in
-    let stopped = ref false in
-    let worklist = B.Worklist.create () in
+    let transcoded = B.Counter.create ~name:"mediatomb.transcoded" () in
+    let stopped = R.cell ~name:"mediatomb.stopped" false in
+    let worklist = B.Worklist.create ~name:"mediatomb.worklist" () in
     (* mencoder: slice-parallel encoding — each encoder thread owns a
        static partition of the frames (mencoder's slice threading) and
        synchronizes on its own codec context per frame.  Same-period
@@ -52,15 +52,15 @@ let server ?(cfg = default_config) () : Api.server =
        here would instead serialize the pool (a mutex is held across a
        whole turn rotation under DMT). *)
     let transcode src =
-      let remaining = ref cfg.encoder_threads in
-      let mu = R.mutex () in
-      let all_done = R.cond () in
+      let remaining = R.cell ~name:"mencoder.remaining" cfg.encoder_threads in
+      let mu = R.mutex ~name:"mencoder.mu" () in
+      let all_done = R.cond ~name:"mencoder.all_done" () in
       let per = (cfg.frames + cfg.encoder_threads - 1) / cfg.encoder_threads in
       let encode_slice e =
         (* One progress signal per frame (codec stats): a single
            synchronization, so no lock is ever held across a scheduler
            rotation. *)
-        let progress = R.cond () in
+        let progress = R.cond ~name:"mencoder.progress" () in
         let lo = ((e - 1) * per) + 1 in
         let hi = min cfg.frames (e * per) in
         for _f = lo to hi do
@@ -68,8 +68,8 @@ let server ?(cfg = default_config) () : Api.server =
           R.cond_signal progress
         done;
         R.lock mu;
-        decr remaining;
-        if !remaining = 0 then R.cond_broadcast all_done;
+        R.cell_set remaining (R.cell_get remaining - 1);
+        if R.cell_get remaining = 0 then R.cond_broadcast all_done;
         R.unlock mu
       in
       for e = 2 to cfg.encoder_threads do
@@ -77,7 +77,7 @@ let server ?(cfg = default_config) () : Api.server =
       done;
       encode_slice 1;
       R.lock mu;
-      while !remaining > 0 do
+      while R.cell_get remaining > 0 do
         R.cond_wait all_done mu
       done;
       R.unlock mu;
@@ -117,7 +117,7 @@ let server ?(cfg = default_config) () : Api.server =
     in
     R.spawn ~name:"mediatomb-listener" (fun () ->
         let l = R.listen ~port:cfg.port in
-        while not !stopped do
+        while not (R.cell_get stopped) do
           R.poll l;
           let conn = R.accept l in
           B.Worklist.add worklist conn
@@ -132,7 +132,7 @@ let server ?(cfg = default_config) () : Api.server =
       mem_bytes = (fun () -> cfg.mem_bytes);
       stop =
         (fun () ->
-          stopped := true;
+          R.cell_set stopped true;
           B.Worklist.close worklist);
     }
   in

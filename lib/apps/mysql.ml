@@ -54,9 +54,9 @@ let server ?(cfg = default_config) () : Api.server =
   let boot api =
     let module R = (val api : Api.API) in
     let module B = App_base.Make (R) in
-    let queries = B.Counter.create () in
-    let stopped = ref false in
-    let worklist = B.Worklist.create () in
+    let queries = B.Counter.create ~name:"mysqld.queries" () in
+    let stopped = R.cell ~name:"mysqld.stopped" false in
+    let worklist = B.Worklist.create ~name:"mysqld.worklist" () in
     let db = ref (Sqlkit.create_db ()) in
     for k = 1 to cfg.ntables do
       ignore (Sqlkit.create_table !db (table_name k) cfg.rows_per_table)
@@ -65,10 +65,10 @@ let server ?(cfg = default_config) () : Api.server =
        mutex: the fine-grained locking of §7.3. *)
     let table_mu = Hashtbl.create 16 and table_rw = Hashtbl.create 16 in
     for k = 1 to cfg.ntables do
-      Hashtbl.replace table_mu (table_name k) (R.mutex ());
-      Hashtbl.replace table_rw (table_name k) (R.rwlock ())
+      Hashtbl.replace table_mu (table_name k) (R.mutex ~name:(table_name k ^ ".meta") ());
+      Hashtbl.replace table_rw (table_name k) (R.rwlock ~name:(table_name k ^ ".rows") ())
     done;
-    let bufpool = R.mutex () in
+    let bufpool = R.mutex ~name:"mysqld.bufpool" () in
     let bufpool_walk () =
       for _ = 1 to cfg.bufpool_ops do
         R.lock bufpool;
@@ -119,8 +119,8 @@ let server ?(cfg = default_config) () : Api.server =
           "OK 1 row affected\n"
         | _, _ -> "ERROR unknown table\n")
     in
-    let worker () =
-      let arena = R.mutex () in
+    let worker i =
+      let arena = R.mutex ~name:(Printf.sprintf "mysqld.arena%d" i) () in
       let rec loop () =
         match B.Worklist.get worklist with
         | None -> ()
@@ -158,13 +158,13 @@ let server ?(cfg = default_config) () : Api.server =
     in
     R.spawn ~name:"mysqld-listener" (fun () ->
         let l = R.listen ~port:cfg.port in
-        while not !stopped do
+        while not (R.cell_get stopped) do
           R.poll l;
           let conn = R.accept l in
           B.Worklist.add worklist conn
         done);
     for i = 1 to cfg.nworkers do
-      R.spawn ~name:(Printf.sprintf "mysqld-worker%d" i) (fun () -> worker ())
+      R.spawn ~name:(Printf.sprintf "mysqld-worker%d" i) (fun () -> worker i)
     done;
     {
       Api.server_name = "mysql";
@@ -181,7 +181,7 @@ let server ?(cfg = default_config) () : Api.server =
       mem_bytes = (fun () -> cfg.mem_bytes);
       stop =
         (fun () ->
-          stopped := true;
+          R.cell_set stopped true;
           B.Worklist.close worklist);
     }
   in

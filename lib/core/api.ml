@@ -38,17 +38,27 @@ module type API = sig
   type cond
   type rwlock
 
-  val mutex : unit -> mutex
+  val mutex : ?name:string -> unit -> mutex
   val lock : mutex -> unit
   val unlock : mutex -> unit
-  val cond : unit -> cond
+  val cond : ?name:string -> unit -> cond
   val cond_wait : cond -> mutex -> unit
   val cond_signal : cond -> unit
   val cond_broadcast : cond -> unit
-  val rwlock : unit -> rwlock
+  val rwlock : ?name:string -> unit -> rwlock
   val rdlock : rwlock -> unit
   val wrlock : rwlock -> unit
   val rwunlock : rwlock -> unit
+
+  type 'a cell
+  (** A monitored shared-memory location.  Reads and writes stream "mem"
+      events to the flight recorder for the happens-before sanitizer;
+      under DMT they are additionally serialized through the scheduler
+      turn, which is exactly what makes them race-free-by-serialization. *)
+
+  val cell : name:string -> 'a -> 'a cell
+  val cell_get : 'a cell -> 'a
+  val cell_set : 'a cell -> 'a -> unit
 
   type listener
   type conn

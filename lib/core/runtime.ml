@@ -38,6 +38,36 @@ module type DIRECT_SOCKET = sig
   val conn_id : conn -> int
 end
 
+(* Monitored shared-memory cells (the sanitizer's [Shared.cell] API).
+   Every read/write streams a "mem" event carrying a per-process location
+   id and the declaration-site name; the DMT runtimes additionally
+   serialize each access through the scheduler turn, reported as the
+   acquire/release of pseudo-lock object 0 ("turn") — the happens-before
+   edge that makes DMT cell accesses race-free by serialization. *)
+module Cellkit = struct
+  type 'a c = { id : int; site : string; mutable v : 'a }
+
+  let make ~counter ~site v =
+    incr counter;
+    { id = !counter; site; v }
+
+  let mem_ev ~eng ~node name (c : _ c) =
+    let tr = Engine.trace eng in
+    if Trace.enabled tr then
+      Trace.instant tr ~ts:(Engine.now eng) ~tid:(Engine.self_tid eng) ~node
+        ~cat:"mem" ~name
+        [ ("loc", Trace.Int c.id); ("site", Trace.Str c.site) ]
+
+  let turn_args =
+    [ ("obj", Trace.Int 0); ("kind", Trace.Str "turn"); ("label", Trace.Str "turn") ]
+
+  let turn_ev ~eng ~node name =
+    let tr = Engine.trace eng in
+    if Trace.enabled tr then
+      Trace.instant tr ~ts:(Engine.now eng) ~tid:(Engine.self_tid eng) ~node
+        ~cat:"sync" ~name turn_args
+end
+
 type blocking_wrapper = { wrap : 'a. (unit -> 'a) -> 'a }
 
 module Direct_socket = struct
@@ -101,17 +131,30 @@ let native ?(cost = Pthread.default_cost) ~eng ~world ~node ~fs ~cores ~rng () =
     type cond = Pthread.Cond.c
     type rwlock = Pthread.Rwlock.rw
 
-    let mutex () = Pthread.Mutex.create pt
+    let mutex ?name () = Pthread.Mutex.create ?name pt
     let lock = Pthread.Mutex.lock
     let unlock = Pthread.Mutex.unlock
-    let cond () = Pthread.Cond.create pt
+    let cond ?name () = Pthread.Cond.create ?name pt
     let cond_wait = Pthread.Cond.wait
     let cond_signal = Pthread.Cond.signal
     let cond_broadcast = Pthread.Cond.broadcast
-    let rwlock () = Pthread.Rwlock.create pt
+    let rwlock ?name () = Pthread.Rwlock.create ?name pt
     let rdlock = Pthread.Rwlock.rdlock
     let wrlock = Pthread.Rwlock.wrlock
     let rwunlock = Pthread.Rwlock.unlock
+
+    type 'a cell = 'a Cellkit.c
+
+    let cell_counter = ref 0
+    let cell ~name v = Cellkit.make ~counter:cell_counter ~site:name v
+
+    let cell_get c =
+      Cellkit.mem_ev ~eng ~node "read" c;
+      c.Cellkit.v
+
+    let cell_set c v =
+      Cellkit.mem_ev ~eng ~node "write" c;
+      c.Cellkit.v <- v
 
     include S
 
@@ -148,17 +191,45 @@ let parrot ?turn_cost ?idle_period ~eng ~world ~node ~fs ~cores () =
     type cond = Dmt.Cond.c
     type rwlock = Dmt.Rwlock.rw
 
-    let mutex () = Dmt.Mutex.create dmt
+    let mutex ?name () = Dmt.Mutex.create ?name dmt
     let lock = Dmt.Mutex.lock
     let unlock = Dmt.Mutex.unlock
-    let cond () = Dmt.Cond.create dmt
+    let cond ?name () = Dmt.Cond.create ?name dmt
     let cond_wait = Dmt.Cond.wait
     let cond_signal = Dmt.Cond.signal
     let cond_broadcast = Dmt.Cond.broadcast
-    let rwlock () = Dmt.Rwlock.create dmt
+    let rwlock ?name () = Dmt.Rwlock.create ?name dmt
     let rdlock = Dmt.Rwlock.rdlock
     let wrlock = Dmt.Rwlock.wrlock
     let rwunlock = Dmt.Rwlock.unlock
+
+    type 'a cell = 'a Cellkit.c
+
+    let cell_counter = ref 0
+    let cell ~name v = Cellkit.make ~counter:cell_counter ~site:name v
+
+    (* Bracket the access in a scheduler turn (from DMT threads): the
+       access order is decided by the deterministic round-robin, and the
+       sanitizer sees it as acquire/release of the "turn" pseudo-lock.
+       Accesses from outside the scheduler (bootstrap, checkpointing) go
+       through unbracketed. *)
+    let cell_access name c f =
+      if Dmt.is_thread dmt then begin
+        Dmt.get_turn dmt;
+        Cellkit.turn_ev ~eng ~node "acquire";
+        Cellkit.mem_ev ~eng ~node name c;
+        let v = f () in
+        Cellkit.turn_ev ~eng ~node "release";
+        Dmt.put_turn dmt;
+        v
+      end
+      else begin
+        Cellkit.mem_ev ~eng ~node name c;
+        f ()
+      end
+
+    let cell_get c = cell_access "read" c (fun () -> c.Cellkit.v)
+    let cell_set c v = cell_access "write" c (fun () -> c.Cellkit.v <- v)
 
     include S
 
@@ -188,17 +259,40 @@ let crane ~eng ~node ~fs ~cores ~dmt ~vhost () =
     type cond = Dmt.Cond.c
     type rwlock = Dmt.Rwlock.rw
 
-    let mutex () = Dmt.Mutex.create dmt
+    let mutex ?name () = Dmt.Mutex.create ?name dmt
     let lock = Dmt.Mutex.lock
     let unlock = Dmt.Mutex.unlock
-    let cond () = Dmt.Cond.create dmt
+    let cond ?name () = Dmt.Cond.create ?name dmt
     let cond_wait = Dmt.Cond.wait
     let cond_signal = Dmt.Cond.signal
     let cond_broadcast = Dmt.Cond.broadcast
-    let rwlock () = Dmt.Rwlock.create dmt
+    let rwlock ?name () = Dmt.Rwlock.create ?name dmt
     let rdlock = Dmt.Rwlock.rdlock
     let wrlock = Dmt.Rwlock.wrlock
     let rwunlock = Dmt.Rwlock.unlock
+
+    type 'a cell = 'a Cellkit.c
+
+    let cell_counter = ref 0
+    let cell ~name v = Cellkit.make ~counter:cell_counter ~site:name v
+
+    let cell_access name c f =
+      if Dmt.is_thread dmt then begin
+        Dmt.get_turn dmt;
+        Cellkit.turn_ev ~eng ~node "acquire";
+        Cellkit.mem_ev ~eng ~node name c;
+        let v = f () in
+        Cellkit.turn_ev ~eng ~node "release";
+        Dmt.put_turn dmt;
+        v
+      end
+      else begin
+        Cellkit.mem_ev ~eng ~node name c;
+        f ()
+      end
+
+    let cell_get c = cell_access "read" c (fun () -> c.Cellkit.v)
+    let cell_set c v = cell_access "write" c (fun () -> c.Cellkit.v <- v)
 
     type listener = Vhost.vlistener
     type conn = Vhost.vconn
@@ -237,17 +331,30 @@ let paxos_only ?(cost = Pthread.default_cost) ~eng ~node ~fs ~cores ~rng ~vhost 
     type cond = Pthread.Cond.c
     type rwlock = Pthread.Rwlock.rw
 
-    let mutex () = Pthread.Mutex.create pt
+    let mutex ?name () = Pthread.Mutex.create ?name pt
     let lock = Pthread.Mutex.lock
     let unlock = Pthread.Mutex.unlock
-    let cond () = Pthread.Cond.create pt
+    let cond ?name () = Pthread.Cond.create ?name pt
     let cond_wait = Pthread.Cond.wait
     let cond_signal = Pthread.Cond.signal
     let cond_broadcast = Pthread.Cond.broadcast
-    let rwlock () = Pthread.Rwlock.create pt
+    let rwlock ?name () = Pthread.Rwlock.create ?name pt
     let rdlock = Pthread.Rwlock.rdlock
     let wrlock = Pthread.Rwlock.wrlock
     let rwunlock = Pthread.Rwlock.unlock
+
+    type 'a cell = 'a Cellkit.c
+
+    let cell_counter = ref 0
+    let cell ~name v = Cellkit.make ~counter:cell_counter ~site:name v
+
+    let cell_get c =
+      Cellkit.mem_ev ~eng ~node "read" c;
+      c.Cellkit.v
+
+    let cell_set c v =
+      Cellkit.mem_ev ~eng ~node "write" c;
+      c.Cellkit.v <- v
 
     type listener = Vhost.vlistener
     type conn = Vhost.vconn

@@ -43,6 +43,18 @@ let me t =
   | Some th -> th
   | None -> failwith "Dmt: calling thread is not registered with this scheduler"
 
+let is_thread t = Hashtbl.mem t.threads (Engine.self_tid t.eng)
+
+(* Sanitizer hook: stream a "sync" event through the engine's recorder. *)
+let ev t name args =
+  let tr = Engine.trace t.eng in
+  if Trace.enabled tr then
+    Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+      ~node:t.label ~cat:"sync" ~name args
+
+let obj_args ~id ~kind ~label =
+  [ ("obj", Trace.Int id); ("kind", Trace.Str kind); ("label", Trace.Str label) ]
+
 let is_head t th = match t.runq with h :: _ -> h == th | [] -> false
 
 (* Wake the head if it is parked waiting for the turn. *)
@@ -189,6 +201,7 @@ let spawn t ~name body =
         let cleanup () =
           let th = me t in
           get_turn t;
+          ev t "thread_exit" [];
           leave_runq t th;
           Hashtbl.remove t.threads th.dtid
         in
@@ -255,10 +268,15 @@ let create ?(turn_cost = Time.ns 150) ?(idle_period = Time.us 10) eng =
 (* Pthreads wrappers (paper Figure 9). *)
 
 module Mutex = struct
-  type m = { t : t; mobj : int; mutable locked : bool }
+  type m = { t : t; mobj : int; mlabel : string; mutable locked : bool }
 
-  let create t = { t; mobj = new_obj t; locked = false }
+  let create ?name t =
+    let mobj = new_obj t in
+    let mlabel = match name with Some n -> n | None -> Printf.sprintf "mutex#%d" mobj in
+    { t; mobj; mlabel; locked = false }
+
   let obj m = m.mobj
+  let args m = obj_args ~id:m.mobj ~kind:"mutex" ~label:m.mlabel
 
   let lock m =
     get_turn m.t;
@@ -267,12 +285,14 @@ module Mutex = struct
       wait m.t ~obj:m.mobj
     done;
     m.locked <- true;
+    ev m.t "acquire" (args m);
     put_turn m.t
 
   let unlock m =
     get_turn m.t;
     if not m.locked then invalid_arg "Dmt.Mutex.unlock: not locked";
     m.locked <- false;
+    ev m.t "release" (args m);
     signal m.t ~obj:m.mobj;
     put_turn m.t
 
@@ -281,38 +301,62 @@ module Mutex = struct
     while m.locked do
       wait m.t ~obj:m.mobj
     done;
-    m.locked <- true
+    m.locked <- true;
+    ev m.t "acquire" (args m)
 end
 
 module Cond = struct
-  type c = { t : t; cobj : int }
+  type c = { t : t; cobj : int; clabel : string }
 
-  let create t = { t; cobj = new_obj t }
+  let create ?name t =
+    let cobj = new_obj t in
+    let clabel = match name with Some n -> n | None -> Printf.sprintf "cond#%d" cobj in
+    { t; cobj; clabel }
+
+  let args c = obj_args ~id:c.cobj ~kind:"cond" ~label:c.clabel
 
   let wait c (mu : Mutex.m) =
     get_turn c.t;
     if not mu.Mutex.locked then invalid_arg "Dmt.Cond.wait: mutex not held";
+    ev c.t "cond_wait"
+      (args c
+      @ [ ("mutex", Trace.Int mu.Mutex.mobj); ("mutex_label", Trace.Str mu.Mutex.mlabel) ]);
     mu.Mutex.locked <- false;
+    ev c.t "release" (Mutex.args mu);
     signal c.t ~obj:(Mutex.obj mu);
     wait c.t ~obj:c.cobj;
+    ev c.t "cond_woken" (args c);
     Mutex.relock_holding_turn mu;
     put_turn c.t
 
   let signal c =
     get_turn c.t;
+    ev c.t "cond_signal" (args c);
     signal c.t ~obj:c.cobj;
     put_turn c.t
 
   let broadcast c =
     get_turn c.t;
+    ev c.t "cond_signal" (args c);
     signal_all c.t ~obj:c.cobj;
     put_turn c.t
 end
 
 module Rwlock = struct
-  type rw = { t : t; robj : int; mutable readers : int; mutable writer : bool }
+  type rw = {
+    t : t;
+    robj : int;
+    rlabel : string;
+    mutable readers : int;
+    mutable writer : bool;
+  }
 
-  let create t = { t; robj = new_obj t; readers = 0; writer = false }
+  let create ?name t =
+    let robj = new_obj t in
+    let rlabel = match name with Some n -> n | None -> Printf.sprintf "rwlock#%d" robj in
+    { t; robj; rlabel; readers = 0; writer = false }
+
+  let args l = obj_args ~id:l.robj ~kind:"rwlock" ~label:l.rlabel
 
   let rdlock l =
     get_turn l.t;
@@ -321,6 +365,7 @@ module Rwlock = struct
       wait l.t ~obj:l.robj
     done;
     l.readers <- l.readers + 1;
+    ev l.t "acquire_rd" (args l);
     put_turn l.t
 
   let wrlock l =
@@ -330,6 +375,7 @@ module Rwlock = struct
       wait l.t ~obj:l.robj
     done;
     l.writer <- true;
+    ev l.t "acquire" (args l);
     put_turn l.t
 
   let unlock l =
@@ -337,18 +383,25 @@ module Rwlock = struct
     if l.writer then l.writer <- false
     else if l.readers > 0 then l.readers <- l.readers - 1
     else invalid_arg "Dmt.Rwlock.unlock: not held";
+    ev l.t "release" (args l);
     signal_all l.t ~obj:l.robj;
     put_turn l.t
 end
 
 module Sem = struct
-  type s = { t : t; sobj : int; mutable count : int }
+  type s = { t : t; sobj : int; slabel : string; mutable count : int }
 
-  let create t count = { t; sobj = new_obj t; count }
+  let create ?name t count =
+    let sobj = new_obj t in
+    let slabel = match name with Some n -> n | None -> Printf.sprintf "sem#%d" sobj in
+    { t; sobj; slabel; count }
+
+  let args s = obj_args ~id:s.sobj ~kind:"sem" ~label:s.slabel
 
   let post s =
     get_turn s.t;
     s.count <- s.count + 1;
+    ev s.t "sem_post" (args s);
     signal s.t ~obj:s.sobj;
     put_turn s.t
 
@@ -359,7 +412,37 @@ module Sem = struct
       wait s.t ~obj:s.sobj
     done;
     s.count <- s.count - 1;
+    ev s.t "sem_wait" (args s);
     put_turn s.t
+end
+
+module Barrier = struct
+  type b = { t : t; bobj : int; blabel : string; n : int; mutable arrived : int }
+
+  let create ?name t n =
+    let bobj = new_obj t in
+    let blabel = match name with Some nm -> nm | None -> Printf.sprintf "barrier#%d" bobj in
+    { t; bobj; blabel; n; arrived = 0 }
+
+  let args b = obj_args ~id:b.bobj ~kind:"barrier" ~label:b.blabel
+
+  (* Same event discipline as the Pthread barrier: all "barrier_arrive"
+     of a round precede every "barrier_leave", giving the sanitizer its
+     all-to-all edges. *)
+  let wait b =
+    get_turn b.t;
+    ev b.t "barrier_arrive" (args b);
+    b.arrived <- b.arrived + 1;
+    if b.arrived >= b.n then begin
+      b.arrived <- 0;
+      signal_all b.t ~obj:b.bobj;
+      ev b.t "barrier_leave" (args b)
+    end
+    else begin
+      wait b.t ~obj:b.bobj;
+      ev b.t "barrier_leave" (args b)
+    end;
+    put_turn b.t
 end
 
 (* ------------------------------------------------------------------ *)

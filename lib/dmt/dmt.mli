@@ -73,7 +73,14 @@ val advance_clock : t -> int -> unit
     rapid-exhaustion mechanism for time bubbles (§3.1, §4). *)
 
 val new_obj : t -> int
-(** Allocate a wait-queue object (mutex, condvar, socket descriptor...). *)
+(** Allocate a wait-queue object (mutex, condvar, socket descriptor...).
+    Ids start at 1: id 0 is reserved for the turn pseudo-lock the
+    runtime's shared-cell wrappers report to the sanitizer. *)
+
+val is_thread : t -> bool
+(** Whether the calling engine thread is registered with this scheduler.
+    Runtime wrappers use it to skip turn brackets on accesses from
+    outside the DMT world (bootstrap, checkpointing). *)
 
 val wait : t -> obj:int -> unit
 (** Move the calling thread (which must hold the turn) to the wait queue
@@ -103,7 +110,7 @@ val run_queue_names : t -> string list
 module Mutex : sig
   type m
 
-  val create : t -> m
+  val create : ?name:string -> t -> m
   val lock : m -> unit
   val unlock : m -> unit
   val obj : m -> int
@@ -112,7 +119,7 @@ end
 module Cond : sig
   type c
 
-  val create : t -> c
+  val create : ?name:string -> t -> c
   val wait : c -> Mutex.m -> unit
   val signal : c -> unit
   val broadcast : c -> unit
@@ -121,7 +128,7 @@ end
 module Rwlock : sig
   type rw
 
-  val create : t -> rw
+  val create : ?name:string -> t -> rw
   val rdlock : rw -> unit
   val wrlock : rw -> unit
   val unlock : rw -> unit
@@ -130,9 +137,19 @@ end
 module Sem : sig
   type s
 
-  val create : t -> int -> s
+  val create : ?name:string -> t -> int -> s
   val post : s -> unit
   val wait : s -> unit
+end
+
+module Barrier : sig
+  type b
+
+  val create : ?name:string -> t -> int -> b
+
+  val wait : b -> unit
+  (** Block until [n] registered threads arrive; all released together
+      (deterministic release order: the wait-queue FIFO). *)
 end
 
 (** {1 Soft-barrier performance hints (paper §7.4)} *)

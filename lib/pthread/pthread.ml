@@ -1,6 +1,7 @@
 module Time = Crane_sim.Time
 module Engine = Crane_sim.Engine
 module Rng = Crane_sim.Rng
+module Trace = Crane_trace.Trace
 
 type cost = { uncontended : Time.t; context_switch : Time.t; wake_jitter : Time.t }
 
@@ -13,14 +14,34 @@ type t = {
   cost : cost;
   mutable sync_ops : int;
   mutable context_switches : int;
+  mutable next_obj : int;
 }
 
+(* Object ids start at 1: id 0 is reserved for the DMT scheduler's turn
+   pseudo-lock, so sanitizer reports use one id space per process across
+   both runtimes. *)
 let create ?(cost = default_cost) eng rng =
-  { eng; rng; cost; sync_ops = 0; context_switches = 0 }
+  { eng; rng; cost; sync_ops = 0; context_switches = 0; next_obj = 1 }
 
 let engine t = t.eng
 let sync_ops t = t.sync_ops
 let context_switches t = t.context_switches
+
+let new_obj t =
+  let o = t.next_obj in
+  t.next_obj <- o + 1;
+  o
+
+(* Sanitizer hook: every synchronization operation streams a "sync" event
+   through the engine's flight recorder.  One branch when tracing is off. *)
+let ev rt name args =
+  let tr = Engine.trace rt.eng in
+  if Trace.enabled tr then
+    Trace.instant tr ~ts:(Engine.now rt.eng) ~tid:(Engine.self_tid rt.eng)
+      ~group:(match Engine.self_group rt.eng with Some g -> g | None -> -1)
+      ~cat:"sync" ~name args
+
+let obj_args ~id ~kind ~label = [ ("obj", Trace.Int id); ("kind", Trace.Str kind); ("label", Trace.Str label) ]
 
 (* A wait set with randomized wake order: the OS scheduler model. *)
 module Waitset = struct
@@ -59,57 +80,96 @@ let charge_fast rt =
   if rt.cost.uncontended > 0 then Engine.sleep rt.eng rt.cost.uncontended
 
 module Mutex = struct
-  type m = { rt : t; mutable locked : bool; ws : Waitset.w }
+  type m = { rt : t; id : int; label : string; mutable owner : int option; ws : Waitset.w }
 
-  let create rt = { rt; locked = false; ws = Waitset.create rt }
+  let create ?name rt =
+    let id = new_obj rt in
+    let label = match name with Some n -> n | None -> Printf.sprintf "mutex#%d" id in
+    { rt; id; label; owner = None; ws = Waitset.create rt }
+
+  let locked m = m.owner <> None
+  let args m = obj_args ~id:m.id ~kind:"mutex" ~label:m.label
 
   let rec lock m =
     charge_fast m.rt;
-    if m.locked then begin
+    if locked m then begin
       Waitset.park m.ws;
       lock m
     end
-    else m.locked <- true
+    else begin
+      m.owner <- Some (Engine.self_tid m.rt.eng);
+      ev m.rt "acquire" (args m)
+    end
 
   let try_lock m =
     charge_fast m.rt;
-    if m.locked then false
+    if locked m then false
     else begin
-      m.locked <- true;
+      m.owner <- Some (Engine.self_tid m.rt.eng);
+      ev m.rt "acquire" (args m);
       true
     end
 
   let unlock m =
-    if not m.locked then invalid_arg "Pthread.Mutex.unlock: not locked";
+    (match m.owner with
+    | None -> invalid_arg "Pthread.Mutex.unlock: not locked"
+    | Some tid when tid <> Engine.self_tid m.rt.eng ->
+      invalid_arg
+        (Printf.sprintf "Pthread.Mutex.unlock: %s held by thread %d, unlocked by %d"
+           m.label tid (Engine.self_tid m.rt.eng))
+    | Some _ -> ());
     charge_fast m.rt;
-    m.locked <- false;
+    m.owner <- None;
+    ev m.rt "release" (args m);
     ignore (Waitset.wake_one m.ws)
 end
 
 module Cond = struct
-  type c = { rt : t; ws : Waitset.w }
+  type c = { rt : t; id : int; label : string; ws : Waitset.w }
 
-  let create rt = { rt; ws = Waitset.create rt }
+  let create ?name rt =
+    let id = new_obj rt in
+    let label = match name with Some n -> n | None -> Printf.sprintf "cond#%d" id in
+    { rt; id; label; ws = Waitset.create rt }
 
-  let wait c mu =
+  let args c = obj_args ~id:c.id ~kind:"cond" ~label:c.label
+
+  let wait c (mu : Mutex.m) =
     charge_fast c.rt;
+    ev c.rt "cond_wait"
+      (args c @ [ ("mutex", Trace.Int mu.Mutex.id); ("mutex_label", Trace.Str mu.Mutex.label) ]);
     Mutex.unlock mu;
     Waitset.park c.ws;
+    ev c.rt "cond_woken" (args c);
     Mutex.lock mu
 
   let signal c =
     charge_fast c.rt;
+    ev c.rt "cond_signal" (args c);
     ignore (Waitset.wake_one c.ws)
 
   let broadcast c =
     charge_fast c.rt;
+    ev c.rt "cond_signal" (args c);
     Waitset.wake_all c.ws
 end
 
 module Rwlock = struct
-  type rw = { rt : t; mutable readers : int; mutable writer : bool; ws : Waitset.w }
+  type rw = {
+    rt : t;
+    id : int;
+    label : string;
+    mutable readers : int;
+    mutable writer : bool;
+    ws : Waitset.w;
+  }
 
-  let create rt = { rt; readers = 0; writer = false; ws = Waitset.create rt }
+  let create ?name rt =
+    let id = new_obj rt in
+    let label = match name with Some n -> n | None -> Printf.sprintf "rwlock#%d" id in
+    { rt; id; label; readers = 0; writer = false; ws = Waitset.create rt }
+
+  let args l = obj_args ~id:l.id ~kind:"rwlock" ~label:l.label
 
   let rec rdlock l =
     charge_fast l.rt;
@@ -117,7 +177,10 @@ module Rwlock = struct
       Waitset.park l.ws;
       rdlock l
     end
-    else l.readers <- l.readers + 1
+    else begin
+      l.readers <- l.readers + 1;
+      ev l.rt "acquire_rd" (args l)
+    end
 
   let rec wrlock l =
     charge_fast l.rt;
@@ -125,29 +188,42 @@ module Rwlock = struct
       Waitset.park l.ws;
       wrlock l
     end
-    else l.writer <- true
+    else begin
+      l.writer <- true;
+      ev l.rt "acquire" (args l)
+    end
 
   let unlock l =
     charge_fast l.rt;
     if l.writer then l.writer <- false
     else if l.readers > 0 then l.readers <- l.readers - 1
     else invalid_arg "Pthread.Rwlock.unlock: not held";
+    ev l.rt "release" (args l);
     Waitset.wake_all l.ws
 end
 
 module Sem = struct
-  type s = { rt : t; mutable count : int; ws : Waitset.w }
+  type s = { rt : t; id : int; label : string; mutable count : int; ws : Waitset.w }
 
-  let create rt count = { rt; count; ws = Waitset.create rt }
+  let create ?name rt count =
+    let id = new_obj rt in
+    let label = match name with Some n -> n | None -> Printf.sprintf "sem#%d" id in
+    { rt; id; label; count; ws = Waitset.create rt }
+
+  let args s = obj_args ~id:s.id ~kind:"sem" ~label:s.label
 
   let post s =
     charge_fast s.rt;
     s.count <- s.count + 1;
+    ev s.rt "sem_post" (args s);
     ignore (Waitset.wake_one s.ws)
 
   let rec wait s =
     charge_fast s.rt;
-    if s.count > 0 then s.count <- s.count - 1
+    if s.count > 0 then begin
+      s.count <- s.count - 1;
+      ev s.rt "sem_wait" (args s)
+    end
     else begin
       Waitset.park s.ws;
       wait s
@@ -155,16 +231,58 @@ module Sem = struct
 end
 
 module Barrier = struct
-  type b = { rt : t; n : int; mutable arrived : int; ws : Waitset.w }
+  type b = { rt : t; id : int; label : string; n : int; mutable arrived : int; ws : Waitset.w }
 
-  let create rt n = { rt; n; arrived = 0; ws = Waitset.create rt }
+  let create ?name rt n =
+    let id = new_obj rt in
+    let label = match name with Some nm -> nm | None -> Printf.sprintf "barrier#%d" id in
+    { rt; id; label; n; arrived = 0; ws = Waitset.create rt }
 
+  let args b = obj_args ~id:b.id ~kind:"barrier" ~label:b.label
+
+  (* All "barrier_arrive" events of a round precede every "barrier_leave":
+     waiters emit arrive before parking, and the releasing thread emits its
+     own leave only after the round is complete. *)
   let wait b =
     charge_fast b.rt;
+    ev b.rt "barrier_arrive" (args b);
     b.arrived <- b.arrived + 1;
     if b.arrived >= b.n then begin
       b.arrived <- 0;
-      Waitset.wake_all b.ws
+      Waitset.wake_all b.ws;
+      ev b.rt "barrier_leave" (args b)
     end
-    else Waitset.park b.ws
+    else begin
+      Waitset.park b.ws;
+      ev b.rt "barrier_leave" (args b)
+    end
 end
+
+(* Joinable threads: pthread_create/pthread_join with exit -> join
+   happens-before edges for the sanitizer.  (Thread creation edges come
+   from the engine's own "thread_spawn" event, which records the parent.) *)
+type thread = { trt : t; mutable ttid : int; mutable finished : bool; tws : Waitset.w }
+
+let spawn rt ~name body =
+  let th = { trt = rt; ttid = -1; finished = false; tws = Waitset.create rt } in
+  let tid =
+    Engine.spawn_with_tid rt.eng ~name (fun () ->
+        let finish () =
+          ev rt "thread_exit" [];
+          th.finished <- true;
+          Waitset.wake_all th.tws
+        in
+        match body () with
+        | () -> finish ()
+        | exception e ->
+          finish ();
+          raise e)
+  in
+  th.ttid <- tid;
+  th
+
+let join th =
+  while not th.finished do
+    Waitset.park th.tws
+  done;
+  ev th.trt "thread_join" [ ("joined", Trace.Int th.ttid) ]

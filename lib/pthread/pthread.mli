@@ -8,7 +8,12 @@
     A cost model charges virtual time per operation: an uncontended
     operation is cheap; blocking and being woken costs a context switch
     (futex-style).  The counters feed the MediaTomb sync-context-switch
-    comparison of §7.3. *)
+    comparison of §7.3.
+
+    Every operation also streams a "sync" event through the engine's
+    flight recorder (object id, primitive kind, human label), which is
+    what feeds the happens-before sanitizer in [lib/analysis].  Object
+    ids start at 1; id 0 is reserved for the DMT turn pseudo-lock. *)
 
 type t
 (** One runtime instance per simulated process. *)
@@ -37,10 +42,13 @@ val context_switches : t -> int
 module Mutex : sig
   type m
 
-  val create : t -> m
+  val create : ?name:string -> t -> m
   val lock : m -> unit
+
   val unlock : m -> unit
-  (** @raise Invalid_argument when unlocking a free mutex. *)
+  (** @raise Invalid_argument when unlocking a free mutex, or when the
+      calling thread is not the owner (pthreads undefined behaviour,
+      promoted to a hard error). *)
 
   val try_lock : m -> bool
 end
@@ -48,7 +56,8 @@ end
 module Cond : sig
   type c
 
-  val create : t -> c
+  val create : ?name:string -> t -> c
+
   val wait : c -> Mutex.m -> unit
   (** Atomically release the mutex and block; re-acquires before return. *)
 
@@ -61,7 +70,7 @@ end
 module Rwlock : sig
   type rw
 
-  val create : t -> rw
+  val create : ?name:string -> t -> rw
   val rdlock : rw -> unit
   val wrlock : rw -> unit
   val unlock : rw -> unit
@@ -70,7 +79,7 @@ end
 module Sem : sig
   type s
 
-  val create : t -> int -> s
+  val create : ?name:string -> t -> int -> s
   val post : s -> unit
   val wait : s -> unit
 end
@@ -78,7 +87,17 @@ end
 module Barrier : sig
   type b
 
-  val create : t -> int -> b
+  val create : ?name:string -> t -> int -> b
+
   val wait : b -> unit
   (** Block until [n] threads arrive; all released together. *)
 end
+
+type thread
+(** A joinable thread handle (pthread_create/pthread_join). *)
+
+val spawn : t -> name:string -> (unit -> unit) -> thread
+
+val join : thread -> unit
+(** Block until the thread's body returns.  Contributes the exit -> join
+    happens-before edge the sanitizer uses. *)

@@ -135,9 +135,12 @@ let spawn_with_tid t ?group ~name body =
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
   let th = { tid; name; tgroup = group } in
-  if Trace.enabled t.trace then
+  if Trace.enabled t.trace then begin
+    let parent = match t.current with Some th -> th.tid | None -> -1 in
     Trace.instant t.trace ~ts:t.clock ~tid ~group:(gid group) ~cat:"sim"
-      ~name:"thread_spawn" [ ("thread", Trace.Str name) ];
+      ~name:"thread_spawn"
+      [ ("thread", Trace.Str name); ("parent", Trace.Int parent) ]
+  end;
   schedule t t.clock (fun () ->
       if alive t th.tgroup then begin
         let saved = t.current in

@@ -89,6 +89,16 @@ let emit t ev =
 
 let events t = List.rev t.evs
 
+let find_int ev key =
+  match List.assoc_opt key ev.args with
+  | Some (Int i) -> Some i
+  | Some (Str _) | None -> None
+
+let find_str ev key =
+  match List.assoc_opt key ev.args with
+  | Some (Str s) -> Some s
+  | Some (Int _) | None -> None
+
 let mk ~ts ~tid ?(group = -1) ?(node = "") ~cat ~name ~ph args =
   { ts; tid; group; node; cat; name; ph; args }
 

@@ -84,6 +84,12 @@ val counter :
 val events : t -> ev list
 (** Retained events, oldest first. *)
 
+val find_int : ev -> string -> int option
+(** [find_int ev key] is the [Int] argument named [key], if any. *)
+
+val find_str : ev -> string -> string option
+(** [find_str ev key] is the [Str] argument named [key], if any. *)
+
 val length : t -> int
 val dropped : t -> int
 

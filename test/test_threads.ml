@@ -151,6 +151,30 @@ let test_pthread_barrier () =
           (abs (t - t0) <= Time.us 200))
       rest
 
+(* Unlock is owner-checked: POSIX leaves unlock-by-non-owner undefined;
+   the model turns it into a hard error so analysis runs can trust the
+   release events. *)
+let test_pthread_unlock_by_non_owner () =
+  let eng = Engine.create () in
+  let rt = Pthread.create eng (Rng.create 9) in
+  let mu = Pthread.Mutex.create ~name:"owned" rt in
+  let raised = ref false in
+  Engine.spawn eng ~name:"owner" (fun () ->
+      Pthread.Mutex.lock mu;
+      Engine.sleep eng (Time.us 100);
+      Pthread.Mutex.unlock mu);
+  Engine.spawn eng ~name:"intruder" (fun () ->
+      Engine.sleep eng (Time.us 10);
+      match Pthread.Mutex.unlock mu with
+      | () -> ()
+      | exception Invalid_argument _ -> raised := true);
+  Engine.run eng;
+  check_no_failures eng;
+  Alcotest.(check bool) "unlock by non-owner raises" true !raised;
+  match Pthread.Mutex.unlock mu with
+  | () -> Alcotest.fail "unlock of unlocked mutex must raise"
+  | exception Invalid_argument _ -> ()
+
 (* Nondeterminism: the wake order under contention varies with the seed. *)
 let pthread_wake_order seed =
   let eng = Engine.create () in
@@ -420,6 +444,8 @@ let suite =
         Alcotest.test_case "rwlock" `Quick test_pthread_rwlock;
         Alcotest.test_case "semaphore" `Quick test_pthread_sem;
         Alcotest.test_case "barrier" `Quick test_pthread_barrier;
+        Alcotest.test_case "unlock by non-owner raises" `Quick
+          test_pthread_unlock_by_non_owner;
         Alcotest.test_case "nondeterministic wake order" `Quick
           test_pthread_nondeterministic_wake;
       ] );
