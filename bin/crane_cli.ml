@@ -722,6 +722,257 @@ let analyze_cmd targets seed list =
     if Driver.problems outcomes = [] then 0 else 1
   end
 
+(* ---- profile: commit critical path and the what-if latency lab ---- *)
+
+module Critical_path = Crane_trace.Critical_path
+
+type whatif = Fsync2x | Nobatch
+
+let all_whatifs = [ ("fsync2x", Fsync2x); ("nobatch", Nobatch) ]
+
+let whatif_name w = fst (List.find (fun (_, v) -> v = w) all_whatifs)
+
+let whatif_doc = function
+  | Fsync2x -> "WAL fsync device 2x faster"
+  | Nobatch -> "proxy batch delay removed"
+
+(* Virtual speedup, Coz-style: instead of sampling and inflating
+   everything else, the simulator re-runs the same seed with one stage's
+   modeled cost scaled, and the delta is measured end to end. *)
+let whatif_cfg (cfg : Instance.config) = function
+  | Fsync2x -> { cfg with Instance.wal_write_latency = cfg.Instance.wal_write_latency / 2 }
+  | Nobatch -> { cfg with Instance.batch_delay = 0 }
+
+type profile_run = {
+  p_report : Critical_path.report;
+  p_load : Loadgen.result;
+  p_trace : Trace.t;
+}
+
+let profiled_run choice ~clients ~requests ~seed ~tweak =
+  let server, port = server_of choice in
+  let rng = Rng.create (seed + 1) in
+  let request = request_of choice rng in
+  let tr = Trace.create () in
+  let cfg =
+    { Instance.default_config with mode = Instance.Full; service_port = port;
+      paxos = fast_paxos }
+  in
+  let cfg = match tweak with None -> cfg | Some w -> whatif_cfg cfg w in
+  let cluster = Cluster.create ~seed ~cfg ~trace:tr ~server () in
+  Cluster.start cluster;
+  let target = Target.cluster cluster ~port in
+  let handle = Loadgen.run ~clients ~requests ~request target in
+  Loadgen.drive ~timeout:(Time.sec 3600) target handle;
+  (* let trailing closes commit and backup admissions land so the last
+     span DAGs are complete before analysis *)
+  let eng = Cluster.engine cluster in
+  Cluster.run ~until:(Engine.now eng + Time.ms 500) cluster;
+  Cluster.check_failures cluster;
+  { p_report = Critical_path.analyze tr; p_load = handle.Loadgen.collect (); p_trace = tr }
+
+let whatif_row ~base ~variant w =
+  let b = base.p_report.Critical_path.e2e and v = variant.p_report.Critical_path.e2e in
+  let delta = b.Metrics.mean -. v.Metrics.mean in
+  [ whatif_name w; whatif_doc w;
+    Printf.sprintf "%.1f" (b.Metrics.mean /. 1e3);
+    Printf.sprintf "%.1f" (v.Metrics.mean /. 1e3);
+    Printf.sprintf "%+.1f" (delta /. 1e3);
+    (if b.Metrics.mean > 0.0 then Printf.sprintf "%+.1f%%" (100. *. delta /. b.Metrics.mean)
+     else "-") ]
+
+let profile_cmd choice clients requests seed whatifs trace_out =
+  let name = fst (List.find (fun (_, c) -> c = choice) all_servers) in
+  Printf.printf "profiling %s: %d clients, %d requests, seed %d (crane mode)\n"
+    name clients requests seed;
+  let base = profiled_run choice ~clients ~requests ~seed ~tweak:None in
+  print_string (Critical_path.render base.p_report);
+  if whatifs <> [] then begin
+    let rows =
+      List.map
+        (fun w ->
+          let variant = profiled_run choice ~clients ~requests ~seed ~tweak:(Some w) in
+          whatif_row ~base ~variant w)
+        whatifs
+    in
+    Table.print ~title:"what-if latency lab (same seed, virtual speedup)"
+      ~header:[ "what-if"; "change"; "base e2e mean us"; "e2e mean us"; "delta us"; "delta" ]
+      rows;
+    print_newline ()
+  end;
+  (match trace_out with
+  | Some path -> (
+    match open_out path with
+    | oc ->
+      output_string oc (Trace.to_chrome base.p_trace);
+      close_out oc;
+      (* stderr: the report on stdout stays byte-comparable across runs
+         regardless of export options *)
+      Printf.eprintf "base-run trace -> %s\n" path
+    | exception Sys_error msg ->
+      Printf.eprintf "crane: cannot write trace: %s\n" msg;
+      exit 1)
+  | None -> ());
+  if base.p_report.Critical_path.errors <> [] then begin
+    Printf.printf "profile: %d malformed span DAG(s)\n"
+      (List.length base.p_report.Critical_path.errors);
+    1
+  end
+  else 0
+
+(* ---- bench latency: stage decomposition + what-if deltas as JSON ---- *)
+
+let summary_json (s : Metrics.summary) =
+  Printf.sprintf
+    "{\"count\": %d, \"p50_ns\": %d, \"p90_ns\": %d, \"p99_ns\": %d, \
+     \"max_ns\": %d, \"mean_ns\": %.0f, \"total_ns\": %d}"
+    s.Metrics.count s.Metrics.p50 s.Metrics.p90 s.Metrics.p99 s.Metrics.max
+    s.Metrics.mean s.Metrics.total
+
+let bench_latency_cmd quick seed out check servers =
+  let chosen =
+    match servers with
+    | [] -> all_servers
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n all_servers with
+          | Some c -> (n, c)
+          | None ->
+            Printf.eprintf "crane: unknown server %s\n" n;
+            exit 2)
+        names
+  in
+  let clients = if quick then 4 else 8 in
+  let requests = if quick then 60 else 200 in
+  let results =
+    List.map
+      (fun (name, choice) ->
+        Printf.printf "latency %s: base..." name;
+        flush stdout;
+        let base = profiled_run choice ~clients ~requests ~seed ~tweak:None in
+        let variants =
+          List.map
+            (fun (_, w) ->
+              Printf.printf " %s..." (whatif_name w);
+              flush stdout;
+              (w, profiled_run choice ~clients ~requests ~seed ~tweak:(Some w)))
+            all_whatifs
+        in
+        let r = base.p_report in
+        Printf.printf " coverage %.1f%%\n" (100. *. r.Critical_path.coverage);
+        (name, base, variants))
+      chosen
+  in
+  Table.print ~title:"commit critical path (e2e mean us per stage-bearing run)"
+    ~header:
+      ([ "server"; "coverage"; "e2e p50 us" ]
+      @ List.map (fun s -> s ^ " p50") Critical_path.stage_order)
+    (List.map
+       (fun (name, base, _) ->
+         let r = base.p_report in
+         let stage_p50 s =
+           let row =
+             List.find (fun x -> x.Critical_path.stage = s) r.Critical_path.stages
+           in
+           Printf.sprintf "%.1f" (float_of_int row.Critical_path.summary.Metrics.p50 /. 1e3)
+         in
+         [ name;
+           Printf.sprintf "%.1f%%" (100. *. r.Critical_path.coverage);
+           Printf.sprintf "%.1f" (float_of_int r.Critical_path.e2e.Metrics.p50 /. 1e3) ]
+         @ List.map stage_p50 Critical_path.stage_order)
+       results);
+  let result_json (name, base, variants) =
+    let r = base.p_report in
+    let stages =
+      String.concat ", "
+        (List.map
+           (fun row ->
+             Printf.sprintf "\"%s\": %s"
+               (json_escape row.Critical_path.stage)
+               (summary_json row.Critical_path.summary))
+           r.Critical_path.stages)
+    in
+    let whatifs =
+      String.concat ", "
+        (List.map
+           (fun (w, v) ->
+             let b = r.Critical_path.e2e and ve = v.p_report.Critical_path.e2e in
+             Printf.sprintf
+               "{\"name\": \"%s\", \"e2e_mean_ns\": %.0f, \"delta_ns\": %.0f, \
+                \"coverage\": %.4f}"
+               (json_escape (whatif_name w)) ve.Metrics.mean
+               (b.Metrics.mean -. ve.Metrics.mean)
+               v.p_report.Critical_path.coverage)
+           variants)
+    in
+    Printf.sprintf
+      "    {\"server\": \"%s\", \"committed\": %d, \"complete\": %d, \
+       \"coverage\": %.4f, \"span_errors\": %d, \"e2e\": %s, \
+       \"stages\": {%s}, \"what_if\": [%s]}"
+      (json_escape name) r.Critical_path.committed r.Critical_path.complete
+      r.Critical_path.coverage
+      (List.length r.Critical_path.errors)
+      (summary_json r.Critical_path.e2e) stages whatifs
+  in
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"latency\",\n  \"seed\": %d,\n  \"mode\": \"crane\",\n  \
+       \"clients\": %d,\n  \"requests\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+      seed clients requests
+      (String.concat ",\n" (List.map result_json results))
+  in
+  (match open_out out with
+  | oc ->
+    output_string oc json;
+    close_out oc;
+    Printf.printf "wrote %s\n" out
+  | exception Sys_error msg ->
+    Printf.eprintf "crane: cannot write %s: %s\n" out msg;
+    exit 1);
+  if check then begin
+    let failures =
+      List.concat_map
+        (fun (name, base, variants) ->
+          let r = base.p_report in
+          let cov =
+            if r.Critical_path.coverage < 0.99 then
+              [ Printf.sprintf "%s: span coverage %.1f%% < 99%%" name
+                  (100. *. r.Critical_path.coverage) ]
+            else []
+          in
+          let errs =
+            if r.Critical_path.errors <> [] then
+              [ Printf.sprintf "%s: %d malformed span DAGs" name
+                  (List.length r.Critical_path.errors) ]
+            else []
+          in
+          let fsync_delta =
+            match List.assoc_opt Fsync2x variants with
+            | Some v ->
+              let d =
+                r.Critical_path.e2e.Metrics.mean
+                -. v.p_report.Critical_path.e2e.Metrics.mean
+              in
+              if d = 0.0 then
+                [ Printf.sprintf "%s: fsync2x what-if moved e2e latency by 0" name ]
+              else []
+            | None -> []
+          in
+          cov @ errs @ fsync_delta)
+        results
+    in
+    if failures <> [] then begin
+      List.iter (fun f -> Printf.printf "FAIL: %s\n" f) failures;
+      1
+    end
+    else begin
+      Printf.printf "check ok: coverage >= 99%%, no span errors, fsync2x delta nonzero\n";
+      0
+    end
+  end
+  else 0
+
 (* ---- cmdliner plumbing ---- *)
 
 let server_arg =
@@ -807,6 +1058,37 @@ let analyze_list_arg =
 let analyze_term =
   Term.(const analyze_cmd $ analyze_targets_arg $ seed_arg $ analyze_list_arg)
 
+let whatif_arg =
+  let choice = Arg.enum all_whatifs in
+  Arg.(value & opt_all choice []
+       & info [ "what-if"; "w" ]
+           ~doc:"Re-run the same seed with a stage's virtual cost scaled and \
+                 report the end-to-end delta (fsync2x, nobatch); repeatable.")
+
+let profile_trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ]
+           ~doc:"Also export the base run's trace (chrome trace_event JSON).")
+
+let profile_term =
+  Term.(const profile_cmd $ server_arg $ clients_arg $ requests_arg $ seed_arg
+        $ whatif_arg $ profile_trace_out_arg)
+
+let latency_out_arg =
+  Arg.(value & opt string "BENCH_latency.json"
+       & info [ "out"; "o" ] ~doc:"Benchmark JSON output file.")
+
+let latency_check_arg =
+  Arg.(value & flag
+       & info [ "check" ]
+           ~doc:"Exit nonzero unless every server decomposes >= 99% of committed \
+                 requests with no malformed span DAGs and the fsync2x what-if \
+                 moves end-to-end latency.")
+
+let bench_latency_term =
+  Term.(const bench_latency_cmd $ quick_arg $ seed_arg $ latency_out_arg
+        $ latency_check_arg $ bench_servers_arg)
+
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run a workload against a server in a chosen deployment mode.") run_term;
@@ -823,7 +1105,17 @@ let cmds =
           (Cmd.info "recovery"
              ~doc:"Measure straggler recovery time and peak resident log with \
                    compaction on vs. off; write BENCH_recovery.json.")
-          bench_recovery_term ];
+          bench_recovery_term;
+        Cmd.v
+          (Cmd.info "latency"
+             ~doc:"Decompose commit latency into critical-path stages per server \
+                   and measure what-if deltas; write BENCH_latency.json.")
+          bench_latency_term ];
+    Cmd.v
+      (Cmd.info "profile"
+         ~doc:"Commit critical-path profile: per-stage latency decomposition, \
+               per-view stalls, blocked-on attribution, what-if latency lab.")
+      profile_term;
     Cmd.v
       (Cmd.info "analyze"
          ~doc:"Crane-San: race detection, lock-order lint and determinism \

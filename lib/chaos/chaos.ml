@@ -27,6 +27,7 @@ module Output_log = Crane_core.Output_log
 module Target = Crane_workload.Target
 module Loadgen = Crane_workload.Loadgen
 module Trace = Crane_trace.Trace
+module Metrics = Crane_trace.Metrics
 module Table = Crane_report.Table
 
 (* ------------------------------------------------------------------ *)
@@ -115,6 +116,9 @@ type report = {
   r_ok : int;
   r_errors : int;
   r_retries : int;
+  r_latency : Metrics.summary option;
+      (** recorder-sourced commit latency (propose to first admission,
+          the [req.lifecycle] span) under the fault schedule *)
   probe_ok : int;
   probe_errors : int;
   final_primary : string option;
@@ -141,12 +145,21 @@ let render_report r =
               | None -> "boot") ])
           r.elections));
   Buffer.add_string b "\n";
+  let lat pick =
+    match r.r_latency with
+    | Some s -> Time.to_string (pick s)
+    | None -> "-"
+  in
   Buffer.add_string b
     (Table.render ~title:"workload"
-       ~header:[ "ok"; "retries"; "errors"; "acked"; "probe ok"; "probe errors" ]
+       ~header:
+         [ "ok"; "retries"; "errors"; "acked"; "probe ok"; "probe errors";
+           "commit p50"; "commit p90"; "commit p99" ]
        [ [ string_of_int r.r_ok; string_of_int r.r_retries; string_of_int r.r_errors;
            string_of_int r.r_acked; string_of_int r.probe_ok;
-           string_of_int r.probe_errors ] ]);
+           string_of_int r.probe_errors;
+           lat (fun s -> s.Metrics.p50); lat (fun s -> s.Metrics.p90);
+           lat (fun s -> s.Metrics.p99) ] ]);
   Buffer.add_string b "\n";
   line "abdications:        %d" r.r_abdications;
   line "catch-up installed: %d entries" r.r_catchup_installed;
@@ -516,7 +529,15 @@ let chaos_config =
   }
 
 let run ?(cfg = chaos_config) ?trace ~seed scenario =
-  let cluster = Cluster.create ~seed ~cfg ?trace ~server:Ledger.server () in
+  (* When the caller doesn't bring a recorder, attach a streaming one
+     (no retention) so the report can still source commit latency from
+     the [req.lifecycle] spans. *)
+  let trace =
+    match trace with Some t -> t | None -> Trace.create ~retain:false ()
+  in
+  let metrics = Metrics.create () in
+  Metrics.attach metrics trace;
+  let cluster = Cluster.create ~seed ~cfg ~trace ~server:Ledger.server () in
   let eng = Cluster.engine cluster in
   let d =
     {
@@ -630,6 +651,7 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
     r_ok = List.length load.Loadgen.latencies;
     r_errors = load.Loadgen.errors;
     r_retries = load.Loadgen.retries;
+    r_latency = Metrics.summary metrics "req.lifecycle";
     probe_ok = List.length probe_r.Loadgen.latencies;
     probe_errors = probe_r.Loadgen.errors;
     final_primary = Cluster.primary_node cluster;

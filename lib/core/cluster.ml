@@ -59,7 +59,7 @@ let wal_for t node =
   match Hashtbl.find_opt t.wals node with
   | Some w -> w
   | None ->
-    let w = Wal.create t.eng ~name:node in
+    let w = Wal.create ~write_latency:t.cfg.wal_write_latency t.eng ~name:node in
     Hashtbl.add t.wals node w;
     w
 

@@ -40,6 +40,10 @@ type config = {
   batch_delay : Time.t;
       (** proxy batching: flush a non-full pending batch after this much
           virtual time *)
+  wal_write_latency : Time.t;
+      (** per-fsync device latency of each replica's WAL — exposed so the
+          what-if profiler can re-run a seed with a scaled flash device
+          (e.g. "fsync 2x faster") and measure the end-to-end delta *)
   checkpoint_period : Time.t;
   container_stop : Time.t;  (** LXC stop cost (daemon-dependent, §5.2) *)
   container_start : Time.t;  (** LXC start cost *)
@@ -63,6 +67,7 @@ let default_config =
     paxos = Paxos.default_config;
     batch_max = 64;
     batch_delay = Time.us 100;
+    wal_write_latency = Time.us 15;
     checkpoint_period = Time.sec 60;
     container_stop = Time.ms 1200;
     container_start = Time.ms 2200;
@@ -195,7 +200,9 @@ let replay_from t ~from_index =
   let values =
     Paxos.get_committed_range t.paxos ~lo:from_index ~hi:(Paxos.committed t.paxos)
   in
-  List.iter (fun v -> Vhost.deliver t.vhost (Event.decode v)) values
+  List.iteri
+    (fun i v -> Vhost.deliver t.vhost ~index:(from_index + i) (Event.decode v))
+    values
 
 (* The application snapshot consensus disseminates for compaction and
    snapshot catch-up: the CRIU state blob plus the checkpointed

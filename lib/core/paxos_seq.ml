@@ -11,7 +11,10 @@ module Trace = Crane_trace.Trace
 type t = {
   eng : Engine.t;
   node : string;  (** replica name for trace attribution *)
-  q : Event.t Queue.t;
+  q : (int * Event.t) Queue.t;
+      (* Entries carry their global consensus index (0 = unknown, e.g.
+         checkpoint replay before indices were threaded through): the
+         trace id request spans are joined on. *)
   mutable bubble_left : int;
       (* Remaining logical clocks of a bubble currently at the head
          (0 = the head is whatever [q] starts with). *)
@@ -39,8 +42,8 @@ let create ?(node = "") eng =
     max_depth = 0;
   }
 
-let append t ev =
-  Queue.add ev t.q;
+let append t ?(index = 0) ev =
+  Queue.add (index, ev) t.q;
   if Queue.length t.q > t.max_depth then t.max_depth <- Queue.length t.q;
   t.last_nonempty <- Engine.now t.eng;
   (let tr = Engine.trace t.eng in
@@ -48,7 +51,7 @@ let append t ev =
      Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
        ~node:t.node ~cat:"seq"
        ~name:(if Event.is_bubble ev then "append_bubble" else "append_call")
-       [ ("depth", Trace.Int (Queue.length t.q)) ]);
+       [ ("depth", Trace.Int (Queue.length t.q)); ("index", Trace.Int index) ]);
   if Event.is_bubble ev then t.bubbles <- t.bubbles + 1
   else begin
     t.calls <- t.calls + 1;
@@ -59,7 +62,7 @@ let append t ev =
 let normalize t =
   if t.bubble_left = 0 then
     match Queue.peek_opt t.q with
-    | Some (Event.Time_bubble { nclock }) ->
+    | Some (_, Event.Time_bubble { nclock }) ->
       ignore (Queue.pop t.q);
       t.bubble_left <- nclock
     | Some _ | None -> ()
@@ -67,14 +70,34 @@ let normalize t =
 let head t =
   normalize t;
   if t.bubble_left > 0 then Some (Event.Time_bubble { nclock = t.bubble_left })
-  else Queue.peek_opt t.q
+  else Option.map snd (Queue.peek_opt t.q)
 
 let drop_head t =
   normalize t;
   if t.bubble_left > 0 then invalid_arg "Paxos_seq.drop_head: head is a bubble"
   else begin
-    let ev = Queue.pop t.q in
-    if not (Event.is_bubble ev) then t.queued_calls <- t.queued_calls - 1
+    let index, ev = Queue.pop t.q in
+    if not (Event.is_bubble ev) then begin
+      t.queued_calls <- t.queued_calls - 1;
+      let tr = Engine.trace t.eng in
+      if Trace.enabled tr then begin
+        let ts = Engine.now t.eng and tid = Engine.self_tid t.eng in
+        let conn =
+          match ev with
+          | Event.Connect { conn; _ } | Event.Send { conn; _ }
+          | Event.Close { conn } -> conn
+          | Event.Time_bubble _ -> -1
+        in
+        Trace.instant tr ~ts ~tid ~node:t.node ~cat:"seq" ~name:"admit"
+          [ ("index", Trace.Int index); ("conn", Trace.Int conn) ];
+        (* Close the proposer-opened request-lifecycle span.  Every
+           replica admits the index; the first admission wins the pair,
+           later ends find no open span and are ignored. *)
+        if index > 0 then
+          Trace.async_end tr ~ts ~tid ~id:index ~node:t.node ~cat:"req"
+            ~name:"lifecycle" []
+      end
+    end
   end
 
 let is_empty t =

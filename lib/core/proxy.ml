@@ -35,7 +35,10 @@ type t = {
      preserved, so the decision sequence is exactly the unbatched one. *)
   batch_max : int;
   batch_delay : Time.t;
-  buf : string Queue.t; (* encoded events awaiting flush, arrival order *)
+  buf : (string * Event.t * Time.t) Queue.t;
+      (* (encoded, event, enqueue instant) awaiting flush, arrival order:
+         the enqueue instant is the batch-wait origin of the request's
+         causal span *)
   mutable flush_scheduled : bool;
   mutable bubbles_proposed : int;
   mutable calls_proposed : int;
@@ -55,17 +58,49 @@ type stats = {
    events were buffered the batch is shed — the same client-visible
    outcome as an unbatched submit refusing mid-stream (clients are shed by
    on_demote and retry against the new primary). *)
+(* The birth certificate of a request span: one instant carrying the
+   assigned consensus index (the trace id), the client connection, the
+   call kind and how long the event waited in the proxy batch buffer.
+   Emitted at proposal time, so same-seed runs order it identically. *)
+let req_proposed t ~index ~queued ev =
+  let tr = Engine.trace t.eng in
+  if Trace.enabled tr then begin
+    let ts = Engine.now t.eng and tid = Engine.self_tid t.eng in
+    let kind, conn =
+      match ev with
+      | Event.Time_bubble _ -> ("bubble", -1)
+      | Event.Connect { conn; _ } -> ("connect", conn)
+      | Event.Send { conn; _ } -> ("send", conn)
+      | Event.Close { conn } -> ("close", conn)
+    in
+    Trace.instant tr ~ts ~tid ~node:t.node ~cat:"req" ~name:"proposed"
+      [ ("index", Trace.Int index); ("conn", Trace.Int conn);
+        ("kind", Trace.Str kind); ("queued_ns", Trace.Int queued);
+        ("view", Trace.Int (Paxos.view t.paxos)) ];
+    if conn >= 0 then
+      Trace.async_begin tr ~ts ~tid ~id:index ~node:t.node ~cat:"req"
+        ~name:"lifecycle" [ ("index", Trace.Int index) ]
+  end
+
 let flush t =
   if not (Queue.is_empty t.buf) then begin
-    let events = List.of_seq (Queue.to_seq t.buf) in
+    let entries = List.of_seq (Queue.to_seq t.buf) in
     Queue.clear t.buf;
     t.batches_flushed <- t.batches_flushed + 1;
     let tr = Engine.trace t.eng in
     if Trace.enabled tr then
       Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
         ~node:t.node ~cat:"proxy" ~name:"batch_flush"
-        [ ("events", Trace.Int (List.length events)) ];
-    ignore (Paxos.submit_batch t.paxos events)
+        [ ("events", Trace.Int (List.length entries)) ];
+    match
+      Paxos.submit_batch_ix t.paxos (List.map (fun (enc, _, _) -> enc) entries)
+    with
+    | None -> ()
+    | Some (lo, _) ->
+      let now = Engine.now t.eng in
+      List.iteri
+        (fun i (_, ev, enq) -> req_proposed t ~index:(lo + i) ~queued:(now - enq) ev)
+        entries
   end
 
 let schedule_flush t =
@@ -78,10 +113,15 @@ let schedule_flush t =
 
 let submit t ev =
   let accepted =
-    if t.batch_max <= 1 then Paxos.submit t.paxos (Event.encode ev)
+    if t.batch_max <= 1 then (
+      match Paxos.submit_ix t.paxos (Event.encode ev) with
+      | Some index ->
+        req_proposed t ~index ~queued:0 ev;
+        true
+      | None -> false)
     else if not (Paxos.is_primary t.paxos) then false
     else begin
-      Queue.add (Event.encode ev) t.buf;
+      Queue.add (Event.encode ev, ev, Engine.now t.eng) t.buf;
       (* Bubbles flush immediately: they are only requested during
          quiescence (nothing to amortize them with), and holding one back
          batch_delay would just stall the gate it is meant to unblock.
@@ -240,7 +280,7 @@ let create ~eng ~node ~world ~port ~paxos ~vhost ~group ~skip_upto
          unpacked, one callback per entry). *)
       Paxos.on_commit =
         (fun ~index value ->
-          if index > t.skip_upto then Vhost.deliver vhost (Event.decode value));
+          if index > t.skip_upto then Vhost.deliver vhost ~index (Event.decode value));
       (* Deposed or abdicated: shed every attached client immediately so
          they see EOF and retry against the new primary, instead of
          waiting out a recv timeout on a node that can no longer commit

@@ -68,6 +68,18 @@ module Cellkit = struct
         ~cat:"sync" ~name turn_args
 end
 
+(* The server-side pickup of an admitted request: the instant the recv
+   wrapper hands bytes to server code marks the scheduler-wait -> execute
+   boundary of that request's span on this replica's timeline. *)
+let recv_return_ev ~eng ~node ~conn ~bytes =
+  if bytes > 0 then begin
+    let tr = Engine.trace eng in
+    if Trace.enabled tr then
+      Trace.instant tr ~ts:(Engine.now eng) ~tid:(Engine.self_tid eng) ~node
+        ~cat:"req" ~name:"recv_return"
+        [ ("conn", Trace.Int conn); ("bytes", Trace.Int bytes) ]
+  end
+
 type blocking_wrapper = { wrap : 'a. (unit -> 'a) -> 'a }
 
 module Direct_socket = struct
@@ -300,7 +312,13 @@ let crane ~eng ~node ~fs ~cores ~dmt ~vhost () =
     let listen ~port = Vhost.listen vhost ~port
     let poll l = Vhost.poll vhost l
     let accept l = Vhost.accept vhost l
-    let recv c ~max = Vhost.recv vhost c ~max
+
+    let recv c ~max =
+      let data = Vhost.recv vhost c ~max in
+      recv_return_ev ~eng ~node ~conn:(Vhost.conn_id c)
+        ~bytes:(String.length data);
+      data
+
     let send c payload = Vhost.send vhost c payload
     let close c = Vhost.close vhost c
     let conn_id = Vhost.conn_id
@@ -362,7 +380,13 @@ let paxos_only ?(cost = Pthread.default_cost) ~eng ~node ~fs ~cores ~rng ~vhost 
     let listen ~port = Vhost.listen vhost ~port
     let poll l = Vhost.poll vhost l
     let accept l = Vhost.accept vhost l
-    let recv c ~max = Vhost.recv vhost c ~max
+
+    let recv c ~max =
+      let data = Vhost.recv vhost c ~max in
+      recv_return_ev ~eng ~node ~conn:(Vhost.conn_id c)
+        ~bytes:(String.length data);
+      data
+
     let send c payload = Vhost.send vhost c payload
     let close c = Vhost.close vhost c
     let conn_id = Vhost.conn_id

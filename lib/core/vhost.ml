@@ -241,11 +241,11 @@ let create ?(node = "") eng ~cfg ~clocking =
 (* ------------------------------------------------------------------ *)
 (* Delivery from the proxy (consensus decision order). *)
 
-let deliver t ev =
+let deliver t ?index ev =
   match t.clocking with
-  | Clocked _ -> Paxos_seq.append t.seq ev
+  | Clocked _ -> Paxos_seq.append t.seq ?index ev
   | Immediate -> (
-    Paxos_seq.append t.seq ev;
+    Paxos_seq.append t.seq ?index ev;
     (* Admit instantly: drain the queue into connection state. *)
     let rec drain () =
       match Paxos_seq.head t.seq with
@@ -394,6 +394,14 @@ let recv t (c : vconn) ~max =
 let send t (c : vconn) payload =
   let deliver () =
     Output_log.record t.output ~conn:c.vid payload;
+    (* The server produced the response for whatever request it last
+       admitted on this connection: the execute -> reply boundary. *)
+    (let tr = Engine.trace t.eng in
+     if Trace.enabled tr then
+       Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+         ~node:t.node ~cat:"req" ~name:"reply"
+         [ ("conn", Trace.Int c.vid);
+           ("bytes", Trace.Int (String.length payload)) ]);
     if not c.vclosed then t.handlers.respond ~conn:c.vid payload
   in
   match t.clocking with

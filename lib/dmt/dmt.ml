@@ -77,7 +77,8 @@ let park t th =
   let traced = Trace.enabled tr in
   if traced then
     Trace.span_begin tr ~ts:(Engine.now t.eng) ~tid:th.dtid ~node:t.label
-      ~cat:"dmt" ~name:"turn_wait" [];
+      ~cat:"dmt" ~name:"turn_wait"
+      [ ("runq", Trace.Int (List.length t.runq)) ];
   Engine.suspend t.eng (fun wake -> th.parked <- Some wake);
   if traced then
     Trace.span_end tr ~ts:(Engine.now t.eng) ~tid:th.dtid ~node:t.label

@@ -1,6 +1,7 @@
 module Time = Crane_sim.Time
 module Engine = Crane_sim.Engine
 module Rng = Crane_sim.Rng
+module Trace = Crane_trace.Trace
 
 type node = string
 type endpoint = { node : node; port : int }
@@ -97,12 +98,24 @@ let sample_delay t rng =
   let j = if t.jitter > 0 then Rng.int rng t.jitter else 0 in
   t.base + j
 
+(* Message loss is a latency event, not just a counter: a dropped Accept
+   or ack stalls its index until the round retry, so chaos-run critical
+   paths want drops on the replica's timeline. *)
+let note_drop t ~src ~dst ~reason =
+  t.dropped <- t.dropped + 1;
+  let tr = Engine.trace t.eng in
+  if Trace.enabled tr then
+    Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+      ~node:dst.node ~cat:"net" ~name:"drop"
+      [ ("src", Trace.Str src.node); ("reason", Trace.Str reason) ]
+
 let send ?(bytes = 0) t ~src ~dst msg =
   if not (Hashtbl.mem t.up src.node) then node_up t src.node;
   let link = (src.node, dst.node) in
   let rng = link_rng t link in
   if not (is_up t src.node) || Rng.chance rng t.loss then
-    t.dropped <- t.dropped + 1
+    note_drop t ~src ~dst
+      ~reason:(if is_up t src.node then "loss" else "src_down")
   else begin
     let arrival =
       let earliest =
@@ -121,8 +134,8 @@ let send ?(bytes = 0) t ~src ~dst msg =
           | Some handler ->
             t.delivered <- t.delivered + 1;
             handler ~src msg
-          | None -> t.dropped <- t.dropped + 1
-        else t.dropped <- t.dropped + 1)
+          | None -> note_drop t ~src ~dst ~reason:"unbound"
+        else note_drop t ~src ~dst ~reason:"partitioned")
   end
 
 let delivered t = t.delivered

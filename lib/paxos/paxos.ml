@@ -400,8 +400,22 @@ let offer_snapshot (t : t) ~index ~blob =
       (others t);
     maybe_compact t
 
-let submit t value =
-  if not (is_primary t) then false
+(* Proposer-side durability marker: the (group) fsync covering [lo..hi]
+   just hit the device.  Critical-path analysis splits the commit latency
+   of each index into its fsync component vs. the consensus round that
+   overlaps it. *)
+let fsync_done t ~lo ~hi =
+  let tr = trace t in
+  if Trace.enabled tr then begin
+    let ts = Engine.now t.eng and tid = Engine.self_tid t.eng in
+    for index = lo to hi do
+      Trace.instant tr ~ts ~tid ~node:t.self ~cat:"req" ~name:"fsync_done"
+        [ ("index", Trace.Int index) ]
+    done
+  end
+
+let submit_ix t value =
+  if not (is_primary t) then None
   else begin
     let index = t.last_index + 1 in
     store_entry t ~index ~eview:t.view ~value;
@@ -417,22 +431,25 @@ let submit t value =
     cast t (Accept { aview; index; value; committed = t.committed });
     Queue.add (index, 1) t.open_batches;
     persist t (Wal_accept (aview, index, value)) (fun () ->
+        fsync_done t ~lo:index ~hi:index;
         if t.view = aview && is_primary t then begin
           record_ack t ~index ~from:t.self;
           advance_commits t
         end);
-    true
+    Some index
   end
+
+let submit t value = submit_ix t value <> None
 
 (* One consensus round for a whole batch: indices are assigned per value
    (so decisions, checkpoints and catch-up are oblivious to batching) but
    the broadcast, the acks and the WAL fsync are paid once. *)
-let submit_batch t values =
+let submit_batch_ix t values =
   match values with
-  | [] -> false
-  | [ v ] -> submit t v
+  | [] -> None
+  | [ v ] -> Option.map (fun i -> (i, i)) (submit_ix t v)
   | _ ->
-    if not (is_primary t) then false
+    if not (is_primary t) then None
     else begin
       let aview = t.view in
       let lo = t.last_index + 1 in
@@ -460,14 +477,17 @@ let submit_batch t values =
           values
       in
       Wal.append_batch_async t.wal records (fun () ->
+          fsync_done t ~lo ~hi;
           if t.view = aview && is_primary t then begin
             for index = lo to hi do
               record_ack t ~index ~from:t.self
             done;
             advance_commits t
           end);
-      true
+      Some (lo, hi)
     end
+
+let submit_batch t values = submit_batch_ix t values <> None
 
 (* ------------------------------------------------------------------ *)
 (* Leader election: the three steps of §5.1. *)

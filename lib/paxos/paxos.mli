@@ -67,6 +67,10 @@ val submit : t -> string -> bool
     currently believes itself primary.  Decisions are reported through
     [handlers.on_commit]. *)
 
+val submit_ix : t -> string -> int option
+(** Like {!submit}, but returns the global index assigned to the value —
+    the trace id request spans are keyed by. *)
+
 val submit_batch : t -> string list -> bool
 (** Propose several values as one consensus round (paper-faithful
     batching: CRANE already amortizes ordering per {e burst}, this
@@ -77,6 +81,11 @@ val submit_batch : t -> string list -> bool
     ({!Crane_storage.Wal.append_batch_async}) instead of [N] of each.
     Returns [false] (and proposes nothing) unless this node currently
     believes itself primary, or if the list is empty. *)
+
+val submit_batch_ix : t -> string list -> (int * int) option
+(** Like {!submit_batch}, but returns the inclusive [(lo, hi)] index
+    range assigned to the batch (values take consecutive indices in list
+    order). *)
 
 (** {2 Handlers}
 

@@ -1,6 +1,7 @@
 module Time = Crane_sim.Time
 module Fabric = Crane_net.Fabric
 module Engine = Crane_sim.Engine
+module Trace = Crane_trace.Trace
 
 exception Connection_refused of Fabric.node * int
 exception Connection_closed
@@ -63,6 +64,18 @@ let mark_eof c =
 
 let ep node = { Fabric.node; port = transport_port }
 
+(* Transport-delivery instants: connection ids are allocated once per
+   connection and shared by both endpoints, so an rx event on the serving
+   replica anchors the client-queueing stage of a request span, and one on
+   the client's node anchors the reply stage. *)
+let rx_event w ~node ~name ~cid ~bytes =
+  let tr = Engine.trace w.eng in
+  if Trace.enabled tr then
+    Trace.instant tr ~ts:(Engine.now w.eng) ~tid:(Engine.self_tid w.eng)
+      ~node ~cat:"net" ~name
+      (("conn", Trace.Int cid)
+      :: (if bytes > 0 then [ ("bytes", Trace.Int bytes) ] else []))
+
 let handle w ~node ~src msg =
   let find cid = Hashtbl.find_opt w.conns (node, cid) in
   match msg with
@@ -82,6 +95,7 @@ let handle w ~node ~src msg =
         }
       in
       Hashtbl.replace w.conns (node, cid) c;
+      rx_event w ~node ~name:"rx_syn" ~cid ~bytes:0;
       Queue.add c l.backlog;
       wake_one l.accept_waiters;
       Fabric.send w.fabric ~src:(ep node) ~dst:src (Syn_ack { cid })
@@ -102,11 +116,16 @@ let handle w ~node ~src msg =
   | Data { cid; payload } -> (
     match find cid with
     | Some c when not c.closed ->
+      rx_event w ~node ~name:"rx_data" ~cid ~bytes:(String.length payload);
       Bytestream.push c.rx payload;
       wake_one c.rx_waiters
     | Some _ | None -> ())
   | Fin { cid } -> (
-    match find cid with Some c -> mark_eof c | None -> ())
+    match find cid with
+    | Some c ->
+      rx_event w ~node ~name:"rx_fin" ~cid ~bytes:0;
+      mark_eof c
+    | None -> ())
   | _ -> ()
 
 let ensure_bound w node =

@@ -1,5 +1,6 @@
 module Time = Crane_sim.Time
 module Engine = Crane_sim.Engine
+module Trace = Crane_trace.Trace
 
 type entry = { data : string; torn : bool }
 
@@ -51,17 +52,40 @@ let stable_time t =
   t.last_stable_at <- at;
   at
 
+(* Device-level span events: one instant at submission (with the flash
+   channel's queue depth) and one when the write is durable (with its
+   total device latency).  The WAL is named after its replica, so the
+   events land on that node's timeline. *)
+let trace_submit t ~bytes ~group_size =
+  let tr = Engine.trace t.eng in
+  if Trace.enabled tr then
+    Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+      ~node:t.wname ~cat:"wal" ~name:"write_submit"
+      [ ("bytes", Trace.Int bytes); ("group", Trace.Int group_size);
+        ("queued", Trace.Int (Hashtbl.length t.inflight)) ]
+
+let trace_durable t ~submitted_at ~group_size =
+  let tr = Engine.trace t.eng in
+  if Trace.enabled tr then
+    Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+      ~node:t.wname ~cat:"wal" ~name:"write_durable"
+      [ ("lat_ns", Trace.Int (Engine.now t.eng - submitted_at));
+        ("group", Trace.Int group_size) ]
+
 let append_async t record k =
   t.writes <- t.writes + 1;
   let id = t.next_write_id in
   t.next_write_id <- id + 1;
   Hashtbl.replace t.inflight id record;
+  trace_submit t ~bytes:(String.length record) ~group_size:1;
+  let submitted_at = Engine.now t.eng in
   Engine.at t.eng (stable_time t) (fun () ->
       (* A crash_torn_tail between submission and this instant consumed
          the write: it never reached the device intact. *)
       if Hashtbl.mem t.inflight id then begin
         Hashtbl.remove t.inflight id;
         t.stable <- { data = record; torn = false } :: t.stable;
+        trace_durable t ~submitted_at ~group_size:1;
         k ()
       end)
 
@@ -87,6 +111,11 @@ let append_batch_async t records k =
           id)
         records
     in
+    let group_size = List.length ids in
+    trace_submit t
+      ~bytes:(List.fold_left (fun n r -> n + String.length r) 0 records)
+      ~group_size;
+    let submitted_at = Engine.now t.eng in
     Engine.at t.eng (stable_time t) (fun () ->
         if List.for_all (fun id -> Hashtbl.mem t.inflight id) ids then begin
           List.iter
@@ -95,6 +124,7 @@ let append_batch_async t records k =
               Hashtbl.remove t.inflight id;
               t.stable <- { data = record; torn = false } :: t.stable)
             ids;
+          trace_durable t ~submitted_at ~group_size;
           k ()
         end)
 

@@ -1,0 +1,541 @@
+(** Critical-path analysis over request spans (the latency-attribution
+    layer of the flight recorder).
+
+    Every committed client call leaves a causal chain of events in the
+    trace, keyed by its global consensus index (the trace id assigned at
+    the proxy):
+
+    {v
+    net.rx_*  ->  req.proposed  ->  req.fsync_done  ->  paxos.commit
+        (arrival)    (proxy flush)     (WAL durable)      (quorum)
+              ->  seq.admit  ->  req.reply  ->  net.rx_data
+                 (DMT admits)    (server send)   (client receives)
+    v}
+
+    [analyze] walks that chain for each commit and decomposes end-to-end
+    latency into named stages:
+
+    - [client_queue] — bytes arrived at the proxy until the proxy turned
+      them into a proposal-eligible event (socket buffering, proxy rx loop
+      scheduling);
+    - [batch_wait] — sat in the proxy batch buffer awaiting flush;
+    - [fsync] — proposal until the primary's WAL group fsync covering the
+      index was durable (clamped at commit: a remote quorum can commit an
+      index before the local write lands);
+    - [consensus] — the rest of proposal-to-commit: the Accept round
+      trip not hidden behind the local fsync;
+    - [sched_wait] — committed until the replica's DMT admitted the call
+      from the PAXOS sequence (the serialization tax, §4);
+    - [execute] — admission until the server produced its response;
+    - [reply] — response sent until the client's transport received it.
+
+    Stage sums telescope: client_queue + batch_wait + fsync + consensus
+    + sched_wait + execute + reply = end-to-end (for fully resolved
+    spans).  A per-view table attributes election stalls, and a
+    blocked-on table overlaps each sched_wait window with the sync events
+    of PR 5's sanitizers (cond waits, gate blocks, DMT turn waits) to
+    name what admission actually waited under. *)
+
+module Table = Crane_report.Table
+
+type stage_row = { stage : string; summary : Metrics.summary }
+
+type view_row = {
+  view : int;
+  requests : int;
+  e2e_p50 : int;
+  e2e_p99 : int;
+  max_stall : int;  (** worst sched_wait in the view: faults show up here *)
+}
+
+type blocked_row = {
+  label : string;  (** "gate.block", "dmt.turn_wait", "cond:<name>" *)
+  hits : int;  (** blocking intervals overlapping a sched_wait window *)
+  blocked_ns : int;  (** summed overlap *)
+}
+
+type report = {
+  committed : int;  (** committed client-call indices (bubbles excluded) *)
+  complete : int;  (** of those, spans with the full propose->commit->admit chain *)
+  coverage : float;
+  bubbles : int;  (** committed time-bubble indices (no client latency) *)
+  unattributed : int;  (** commits with no [req.proposed] record at all *)
+  stages : stage_row list;  (** fixed stage order, zero-count stages included *)
+  e2e : Metrics.summary;
+  per_view : view_row list;
+  blocked_on : blocked_row list;
+  errors : string list;  (** malformed span DAGs: empty on a healthy trace *)
+}
+
+let stage_order =
+  [ "client_queue"; "batch_wait"; "fsync"; "consensus"; "sched_wait";
+    "execute"; "reply" ]
+
+(* ------------------------------------------------------------------ *)
+
+type req = {
+  index : int;
+  mutable kind : string;
+  mutable conn : int;
+  mutable rview : int;
+  mutable proposer : string;
+  mutable propose_ts : int;
+  mutable queued_ns : int;
+  mutable proposals : int;  (* duplicate-detection *)
+  mutable fsync_ts : int option;
+  mutable commit_local : int option;  (* commit instant on the proposer *)
+  mutable commit_any : int option;  (* earliest commit on any replica *)
+  mutable admit_local : int option;
+  mutable admit_any : int option;
+  (* resolved in the matching phase *)
+  mutable rx_ts : int option;
+  mutable reply_ts : int option;
+  mutable client_rx_ts : int option;
+}
+
+let new_req index =
+  {
+    index;
+    kind = "";
+    conn = -1;
+    rview = 0;
+    proposer = "";
+    propose_ts = 0;
+    queued_ns = 0;
+    proposals = 0;
+    fsync_ts = None;
+    commit_local = None;
+    commit_any = None;
+    admit_local = None;
+    admit_any = None;
+    rx_ts = None;
+    reply_ts = None;
+    client_rx_ts = None;
+  }
+
+let min_opt cur ts =
+  match cur with Some t when t <= ts -> cur | Some _ | None -> Some ts
+
+(* Per-key cursors over chronologically ordered occurrence lists: the
+   matching phase consumes arrivals/replies in FIFO order per
+   connection, mirroring how the proxy and server actually pair them. *)
+module Cursor = struct
+  type 'k t = ('k, int list ref) Hashtbl.t
+
+  let create () : _ t = Hashtbl.create 64
+
+  let push (t : _ t) k ts =
+    match Hashtbl.find_opt t k with
+    | Some r -> r := ts :: !r (* newest first; reversed once when sealed *)
+    | None -> Hashtbl.add t k (ref [ ts ])
+
+  let seal (t : _ t) = Hashtbl.iter (fun _ r -> r := List.rev !r) t
+
+  (* Pop the first occurrence at or before [le] (FIFO). *)
+  let pop_le (t : _ t) k ~le =
+    match Hashtbl.find_opt t k with
+    | Some ({ contents = ts :: rest } as r) when ts <= le ->
+      r := rest;
+      Some ts
+    | _ -> None
+
+  (* Pop the first occurrence at or after [ge], discarding stale ones. *)
+  let pop_ge (t : _ t) k ~ge =
+    match Hashtbl.find_opt t k with
+    | Some r ->
+      let rec go = function
+        | ts :: rest when ts < ge -> go rest
+        | ts :: rest ->
+          r := rest;
+          Some ts
+        | [] ->
+          r := [];
+          None
+      in
+      go !r
+    | None -> None
+end
+
+(* Disjoint sorted intervals, for the blocked-on overlap. *)
+let merge_intervals ivs =
+  let sorted = List.sort compare ivs in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (s, e) :: rest -> (
+      match acc with
+      | (ps, pe) :: tail when s <= pe -> go ((ps, max pe e) :: tail) rest
+      | _ -> go ((s, e) :: acc) rest)
+  in
+  go [] sorted
+
+let overlap_with windows (s, e) =
+  List.fold_left
+    (fun acc (ws, we) ->
+      let lo = max s ws and hi = min e we in
+      acc + max 0 (hi - lo))
+    0 windows
+
+(* ------------------------------------------------------------------ *)
+
+let analyze tr =
+  let reqs : (int, req) Hashtbl.t = Hashtbl.create 1024 in
+  let req index =
+    match Hashtbl.find_opt reqs index with
+    | Some r -> r
+    | None ->
+      let r = new_req index in
+      Hashtbl.add reqs index r;
+      r
+  in
+  (* (node, conn, event-name) -> chronological occurrence list *)
+  let rx : (string * int * string) Cursor.t = Cursor.create () in
+  let replies : (string * int) Cursor.t = Cursor.create () in
+  (* blocking intervals per node: (node, label) -> (start, end) list *)
+  let blocking : (string * string, (int * int) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let add_blocking node label iv =
+    match Hashtbl.find_opt blocking (node, label) with
+    | Some r -> r := iv :: !r
+    | None -> Hashtbl.add blocking (node, label) (ref [ iv ])
+  in
+  let open_spans : (string * int * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let open_conds : (string * int, int * string) Hashtbl.t = Hashtbl.create 64 in
+  let ints ev k = Trace.find_int ev k in
+  let int_arg ev k ~default = Option.value (ints ev k) ~default in
+  List.iter
+    (fun (ev : Trace.ev) ->
+      let node = Trace.resolve_node tr ev in
+      match (ev.Trace.cat, ev.Trace.name, ev.Trace.ph) with
+      | "req", "proposed", Trace.Instant -> (
+        match ints ev "index" with
+        | None -> ()
+        | Some index ->
+          let r = req index in
+          r.proposals <- r.proposals + 1;
+          r.kind <- Option.value (Trace.find_str ev "kind") ~default:"";
+          r.conn <- int_arg ev "conn" ~default:(-1);
+          r.rview <- int_arg ev "view" ~default:0;
+          r.proposer <- node;
+          r.propose_ts <- ev.Trace.ts;
+          r.queued_ns <- int_arg ev "queued_ns" ~default:0)
+      | "req", "fsync_done", Trace.Instant -> (
+        match ints ev "index" with
+        | None -> ()
+        | Some index ->
+          let r = req index in
+          if r.fsync_ts = None then r.fsync_ts <- Some ev.Trace.ts)
+      | "paxos", "commit", Trace.Instant -> (
+        match ints ev "index" with
+        | None -> ()
+        | Some index ->
+          let r = req index in
+          r.commit_any <- min_opt r.commit_any ev.Trace.ts;
+          if r.proposer <> "" && node = r.proposer && r.commit_local = None then
+            r.commit_local <- Some ev.Trace.ts)
+      | "seq", "admit", Trace.Instant -> (
+        match ints ev "index" with
+        | None | Some 0 -> ()
+        | Some index ->
+          let r = req index in
+          r.admit_any <- min_opt r.admit_any ev.Trace.ts;
+          if r.proposer <> "" && node = r.proposer && r.admit_local = None then
+            r.admit_local <- Some ev.Trace.ts)
+      | "net", (("rx_data" | "rx_syn" | "rx_fin") as name), Trace.Instant -> (
+        match ints ev "conn" with
+        | None -> ()
+        | Some conn -> Cursor.push rx (node, conn, name) ev.Trace.ts)
+      | "req", "reply", Trace.Instant -> (
+        match ints ev "conn" with
+        | None -> ()
+        | Some conn -> Cursor.push replies (node, conn) ev.Trace.ts)
+      | "gate", "block", Trace.Begin | "dmt", "turn_wait", Trace.Begin ->
+        Hashtbl.replace open_spans (node, ev.Trace.tid, ev.Trace.name) ev.Trace.ts
+      | "gate", "block", Trace.End | "dmt", "turn_wait", Trace.End -> (
+        let k = (node, ev.Trace.tid, ev.Trace.name) in
+        match Hashtbl.find_opt open_spans k with
+        | Some t0 ->
+          Hashtbl.remove open_spans k;
+          let label = if ev.Trace.name = "block" then "gate.block" else "dmt.turn_wait" in
+          add_blocking node label (t0, ev.Trace.ts)
+        | None -> ())
+      | "sync", "cond_wait", Trace.Instant ->
+        Hashtbl.replace open_conds (node, ev.Trace.tid)
+          (ev.Trace.ts, Option.value (Trace.find_str ev "label") ~default:"?")
+      | "sync", "cond_woken", Trace.Instant -> (
+        let k = (node, ev.Trace.tid) in
+        match Hashtbl.find_opt open_conds k with
+        | Some (t0, label) ->
+          Hashtbl.remove open_conds k;
+          add_blocking node ("cond:" ^ label) (t0, ev.Trace.ts)
+        | None -> ())
+      | _ -> ())
+    (Trace.events tr);
+  Cursor.seal rx;
+  Cursor.seal replies;
+  (* ---------------- per-request resolution ---------------- *)
+  let all = Hashtbl.fold (fun _ r acc -> r :: acc) reqs [] in
+  let calls =
+    List.filter (fun r -> r.proposals > 0 && r.kind <> "bubble") all
+    |> List.sort (fun a b ->
+           compare (a.propose_ts, a.index) (b.propose_ts, b.index))
+  in
+  let client_sides : (int, string list ref) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (node, conn, name) _ ->
+      if name = "rx_data" then
+        match Hashtbl.find_opt client_sides conn with
+        | Some r -> if not (List.mem node !r) then r := node :: !r
+        | None -> Hashtbl.add client_sides conn (ref [ node ]))
+    rx;
+  List.iter
+    (fun r ->
+      let submit_ts = r.propose_ts - r.queued_ns in
+      (* which transport event carried this call to the proxy *)
+      let rx_name =
+        match r.kind with
+        | "connect" -> Some "rx_syn"
+        | "send" -> Some "rx_data"
+        | "close" -> Some "rx_fin"
+        | _ -> None
+      in
+      (match rx_name with
+      | Some name ->
+        r.rx_ts <- Cursor.pop_le rx (r.proposer, r.conn, name) ~le:submit_ts
+      | None -> ());
+      let admit = match r.admit_local with Some _ as a -> a | None -> r.admit_any in
+      (match (r.kind, admit) with
+      | "send", Some admit_ts -> (
+        r.reply_ts <- Cursor.pop_ge replies (r.proposer, r.conn) ~ge:admit_ts;
+        match (r.reply_ts, Hashtbl.find_opt client_sides r.conn) with
+        | Some reply_ts, Some { contents = sides } ->
+          (* the reply's arrival on the far (client) side of the conn *)
+          let far = List.filter (fun n -> n <> r.proposer) sides in
+          r.client_rx_ts <-
+            List.fold_left
+              (fun acc n ->
+                match acc with
+                | Some _ -> acc
+                | None -> Cursor.pop_ge rx (n, r.conn, "rx_data") ~ge:reply_ts)
+              None far
+        | _ -> ())
+      | _ -> ()))
+    calls;
+  (* ---------------- decomposition ---------------- *)
+  let samples : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.add samples s (ref [])) stage_order;
+  let sample stage v =
+    match Hashtbl.find_opt samples stage with
+    | Some r -> r := v :: !r
+    | None -> ()
+  in
+  let e2e_samples = ref [] in
+  let views : (int, (int list ref * int ref)) Hashtbl.t = Hashtbl.create 8 in
+  let windows_per_node : (string, (int * int) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let complete = ref 0 in
+  List.iter
+    (fun r ->
+      if r.proposals > 1 then
+        err "index %d: %d proposal records (expected 1)" r.index r.proposals;
+      if r.queued_ns < 0 then err "index %d: negative batch wait" r.index;
+      let commit = match r.commit_local with Some _ as c -> c | None -> r.commit_any in
+      let admit = match r.admit_local with Some _ as a -> a | None -> r.admit_any in
+      match (commit, admit) with
+      | Some commit_ts, Some admit_ts ->
+        if commit_ts < r.propose_ts then
+          err "index %d: committed before proposed" r.index;
+        if admit_ts < commit_ts then
+          err "index %d: admitted before committed" r.index;
+        (match r.fsync_ts with
+        | Some f when f < r.propose_ts ->
+          err "index %d: fsync completed before proposal" r.index
+        | _ -> ());
+        incr complete;
+        let submit_ts = r.propose_ts - r.queued_ns in
+        (match r.rx_ts with
+        | Some rx -> sample "client_queue" (submit_ts - rx)
+        | None -> sample "client_queue" 0);
+        sample "batch_wait" r.queued_ns;
+        let fsync =
+          match r.fsync_ts with
+          | Some f -> max 0 (min f commit_ts - r.propose_ts)
+          | None -> 0
+        in
+        sample "fsync" fsync;
+        sample "consensus" (max 0 (commit_ts - r.propose_ts) - fsync);
+        sample "sched_wait" (admit_ts - commit_ts);
+        (match r.reply_ts with
+        | Some reply_ts ->
+          sample "execute" (reply_ts - admit_ts);
+          (match r.client_rx_ts with
+          | Some crx -> sample "reply" (crx - reply_ts)
+          | None -> ())
+        | None -> ());
+        let t0 = match r.rx_ts with Some rx -> rx | None -> submit_ts in
+        let t1 =
+          match (r.client_rx_ts, r.reply_ts) with
+          | Some crx, _ -> crx
+          | None, Some reply_ts -> reply_ts
+          | None, None -> admit_ts
+        in
+        e2e_samples := (t1 - t0) :: !e2e_samples;
+        (let samples_r, stall_r =
+           match Hashtbl.find_opt views r.rview with
+           | Some v -> v
+           | None ->
+             let v = (ref [], ref 0) in
+             Hashtbl.add views r.rview v;
+             v
+         in
+         samples_r := (t1 - t0) :: !samples_r;
+         stall_r := max !stall_r (admit_ts - commit_ts));
+        (* sched_wait window for the blocked-on overlap, only when the
+           commit/admit pair lives on one replica's timeline *)
+        (match (r.commit_local, r.admit_local) with
+        | Some c, Some a when a > c -> (
+          match Hashtbl.find_opt windows_per_node r.proposer with
+          | Some w -> w := (c, a) :: !w
+          | None -> Hashtbl.add windows_per_node r.proposer (ref [ (c, a) ]))
+        | _ -> ())
+      | _ -> () (* incomplete: counted via coverage *))
+    calls;
+  (* ---------------- aggregation ---------------- *)
+  let committed_calls =
+    List.filter (fun r -> r.commit_any <> None) calls |> List.length
+  in
+  let bubbles =
+    List.length
+      (List.filter (fun r -> r.kind = "bubble" && r.commit_any <> None) all)
+  in
+  let unattributed =
+    List.length
+      (List.filter (fun r -> r.proposals = 0 && r.commit_any <> None) all)
+  in
+  let denominator = committed_calls + unattributed in
+  let stages =
+    List.map
+      (fun stage ->
+        let s =
+          match Hashtbl.find_opt samples stage with
+          | Some r -> Metrics.summarize !r
+          | None -> Metrics.summarize []
+        in
+        { stage; summary = s })
+      stage_order
+  in
+  let per_view =
+    Hashtbl.fold (fun view (s, stall) acc -> (view, !s, !stall) :: acc) views []
+    |> List.sort compare
+    |> List.map (fun (view, s, max_stall) ->
+           let sm = Metrics.summarize s in
+           {
+             view;
+             requests = sm.Metrics.count;
+             e2e_p50 = sm.Metrics.p50;
+             e2e_p99 = sm.Metrics.p99;
+             max_stall;
+           })
+  in
+  let blocked_on =
+    let merged_windows =
+      Hashtbl.fold
+        (fun node w acc -> (node, merge_intervals !w) :: acc)
+        windows_per_node []
+    in
+    Hashtbl.fold
+      (fun (node, label) ivs acc ->
+        match List.assoc_opt node merged_windows with
+        | None -> acc
+        | Some windows ->
+          let hits = ref 0 and total = ref 0 in
+          List.iter
+            (fun iv ->
+              let o = overlap_with windows iv in
+              if o > 0 then begin
+                incr hits;
+                total := !total + o
+              end)
+            !ivs;
+          if !hits > 0 then (label, !hits, !total) :: acc else acc)
+      blocking []
+    (* the same label may block on several nodes: fold *)
+    |> List.fold_left
+         (fun acc (label, hits, ns) ->
+           match List.assoc_opt label acc with
+           | Some (h, n) -> (label, (h + hits, n + ns)) :: List.remove_assoc label acc
+           | None -> (label, (hits, ns)) :: acc)
+         []
+    |> List.map (fun (label, (hits, blocked_ns)) -> { label; hits; blocked_ns })
+    |> List.sort (fun a b ->
+           compare (b.blocked_ns, a.label) (a.blocked_ns, b.label))
+  in
+  {
+    committed = denominator;
+    complete = !complete;
+    coverage =
+      (if denominator = 0 then 1.0
+       else float_of_int !complete /. float_of_int denominator);
+    bubbles;
+    unattributed;
+    stages;
+    e2e = Metrics.summarize !e2e_samples;
+    per_view;
+    blocked_on;
+    errors = List.rev !errors;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let us ns = Printf.sprintf "%.1f" (float_of_int ns /. 1_000.)
+
+let render r =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b
+    "span coverage: %d/%d committed requests fully decomposed (%.1f%%)\n"
+    r.complete r.committed (100. *. r.coverage);
+  Printf.bprintf b "committed bubbles: %d   unattributed commits: %d\n\n"
+    r.bubbles r.unattributed;
+  Buffer.add_string b
+    (Table.render ~title:"critical path (us)"
+       ~header:[ "stage"; "count"; "p50"; "p90"; "p99"; "max"; "total_ms" ]
+       (List.map
+          (fun { stage; summary = s } ->
+            [ stage; string_of_int s.Metrics.count; us s.Metrics.p50;
+              us s.Metrics.p90; us s.Metrics.p99; us s.Metrics.max;
+              Printf.sprintf "%.2f" (float_of_int s.Metrics.total /. 1e6) ])
+          r.stages
+       @ [ [ "end_to_end"; string_of_int r.e2e.Metrics.count;
+             us r.e2e.Metrics.p50; us r.e2e.Metrics.p90; us r.e2e.Metrics.p99;
+             us r.e2e.Metrics.max;
+             Printf.sprintf "%.2f" (float_of_int r.e2e.Metrics.total /. 1e6) ] ]));
+  Buffer.add_char b '\n';
+  if r.per_view <> [] then begin
+    Buffer.add_string b
+      (Table.render ~title:"per view"
+         ~header:[ "view"; "requests"; "e2e_p50_us"; "e2e_p99_us"; "max_stall_us" ]
+         (List.map
+            (fun v ->
+              [ string_of_int v.view; string_of_int v.requests; us v.e2e_p50;
+                us v.e2e_p99; us v.max_stall ])
+            r.per_view));
+    Buffer.add_char b '\n'
+  end;
+  if r.blocked_on <> [] then begin
+    Buffer.add_string b
+      (Table.render ~title:"scheduler wait blocked on"
+         ~header:[ "object"; "hits"; "blocked_us" ]
+         (List.map
+            (fun { label; hits; blocked_ns } ->
+              [ label; string_of_int hits; us blocked_ns ])
+            r.blocked_on));
+    Buffer.add_char b '\n'
+  end;
+  if r.errors <> [] then begin
+    Buffer.add_string b "MALFORMED SPAN DAGS:\n";
+    List.iter (fun e -> Printf.bprintf b "  - %s\n" e) r.errors
+  end;
+  Buffer.contents b

@@ -105,13 +105,21 @@ let counter_value t name =
 
 let gauge_value t name = Hashtbl.find_opt t.gauges name
 
+(* Degenerate series are answered directly instead of trusting the
+   percentile machinery with them: an empty series is all zeros (callers
+   that care use {!summary}, which returns [None]), a singleton is the
+   sample at every percentile. *)
 let summarize samples =
-  let count = List.length samples in
-  let total = List.fold_left ( + ) 0 samples in
-  match Stats.percentiles [ 0.5; 0.9; 0.99; 1.0 ] samples with
-  | [ p50; p90; p99; max ] ->
-    { count; total; mean = Stats.mean samples; p50; p90; p99; max }
-  | _ -> { count; total; mean = 0.0; p50 = 0; p90 = 0; p99 = 0; max = 0 }
+  match samples with
+  | [] -> { count = 0; total = 0; mean = 0.0; p50 = 0; p90 = 0; p99 = 0; max = 0 }
+  | [ v ] -> { count = 1; total = v; mean = float_of_int v; p50 = v; p90 = v; p99 = v; max = v }
+  | _ -> (
+    let count = List.length samples in
+    let total = List.fold_left ( + ) 0 samples in
+    match Stats.percentiles [ 0.5; 0.9; 0.99; 1.0 ] samples with
+    | [ p50; p90; p99; max ] ->
+      { count; total; mean = Stats.mean samples; p50; p90; p99; max }
+    | _ -> { count; total; mean = 0.0; p50 = 0; p90 = 0; p99 = 0; max = 0 })
 
 let summary t name =
   match Hashtbl.find_opt t.samples name with
@@ -127,3 +135,28 @@ let sorted_bindings tbl value =
 let counters t = sorted_bindings t.counts (fun r -> !r)
 let gauges t = sorted_bindings t.gauges (fun v -> v)
 let summaries t = sorted_bindings t.samples (fun r -> summarize !r)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster-wide aggregation: fold per-replica aggregations into one, so
+   percentiles can be computed over the union of each replica's samples
+   instead of eyeballing three separate tables. *)
+
+let merge ~into src =
+  Hashtbl.iter (fun k r -> incr into ~by:!r k) src.counts;
+  Hashtbl.iter
+    (fun k v ->
+      (* Gauges are last-sampled values: cluster-wide, sum them (an
+         "admitted" gauge of 40 per replica means 120 admissions). *)
+      set_gauge into k (v + Option.value (Hashtbl.find_opt into.gauges k) ~default:0))
+    src.gauges;
+  Hashtbl.iter
+    (fun k r ->
+      match Hashtbl.find_opt into.samples k with
+      | Some dst -> dst := !r @ !dst
+      | None -> Hashtbl.add into.samples k (ref !r))
+    src.samples
+
+let merged ts =
+  let t = create () in
+  List.iter (fun src -> merge ~into:t src) ts;
+  t

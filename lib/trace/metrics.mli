@@ -45,3 +45,17 @@ val counters : t -> (string * int) list
 
 val gauges : t -> (string * int) list
 val summaries : t -> (string * summary) list
+
+val summarize : int list -> summary
+(** Percentile summary of a raw sample list.  Total by construction:
+    an empty list yields the all-zero summary (it never raises) and a
+    singleton yields the sample at every percentile. *)
+
+val merge : into:t -> t -> unit
+(** Fold [src] into [into]: counters add, gauges sum (a last-value gauge
+    per replica becomes a cluster total), histogram samples concatenate —
+    so percentiles of the merged aggregation cover the union of the
+    per-replica series. *)
+
+val merged : t list -> t
+(** A fresh aggregation holding the merge of all inputs. *)
