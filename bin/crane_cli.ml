@@ -216,7 +216,9 @@ let chaos_cmd scenario seed list =
         match Chaos.find_scenario name with
         | Some s -> [ s ]
         | None ->
-          Printf.eprintf "crane: unknown scenario %s (try --list)\n" name;
+          Printf.eprintf "crane: unknown scenario %s\nvalid scenarios: %s\n" name
+            (String.concat ", "
+               (List.map (fun s -> s.Chaos.name) Chaos.scenarios));
           exit 2)
     in
     let reports =
@@ -491,7 +493,8 @@ let recovery_run ~threshold ~history ~seed =
   let config =
     { Paxos.heartbeat_period = Time.ms 50; election_timeout = Time.ms 200;
       election_jitter = Time.ms 30; round_retry = Time.ms 50;
-      compaction_threshold = threshold; catchup_chunk = 256 }
+      compaction_threshold = threshold; catchup_chunk = 256 ;
+    suspect_timeout = Paxos.default_config.suspect_timeout;}
   in
   let boot name =
     let wal =
@@ -514,7 +517,9 @@ let recovery_run ~threshold ~history ~seed =
     Paxos.set_handlers p
       { Paxos.on_commit =
           (fun ~index:_ v -> state := Digest.to_hex (Digest.string (!state ^ v)));
-        on_demote = (fun () -> ()) };
+        on_demote = (fun () -> ());
+      on_config = (fun ~epoch:_ _ -> ());
+      on_fence = (fun ~epoch:_ -> ()) };
     Paxos.set_compaction_hooks p
       { Paxos.install_snapshot =
           (fun ~index:_ blob -> state := (Marshal.from_string blob 0 : string));
@@ -686,6 +691,160 @@ let bench_recovery_cmd quick seed out check =
          (%d vs %d) snapshot-used=%b\n"
         all_converged flat largest.rr_peak_log smallest.rr_peak_log below_off
         largest.rr_peak_log off_largest.rr_peak_log snapshot_used;
+      1
+    end
+  end
+
+(* ---- bench: client-visible unavailability during a live replica
+   replacement ---- *)
+
+module Ledger = Crane_chaos.Ledger
+
+type reconfig_run = {
+  cr_ok : int;
+  cr_errors : int;
+  cr_retries : int;
+  cr_epoch : int;
+  cr_steady_gap : Time.t;
+      (** widest gap between consecutive successful completions before the
+          primary dies: the no-fault baseline *)
+  cr_unavail : Time.t;
+      (** widest gap across the whole run — the client-visible outage
+          spanning the crash, the election and the membership change *)
+  cr_wall : Time.t;
+  cr_healed : bool;  (** the replacement is live and a member at the end *)
+  cr_spans_fault : bool;
+      (** the workload was still running when the primary died — without
+          this the gap analysis would measure nothing *)
+}
+
+let max_gap instants =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (max acc (b - a)) rest
+    | _ -> acc
+  in
+  go Time.zero instants
+
+(* Kill the primary under load, then commit a membership change swapping
+   the dead replica for a fresh one.  The workload never stops: the gap
+   analysis over its completion instants is the availability measurement
+   (the paper's criterion: failures must be masked from clients). *)
+let reconfig_bench_run ~seed ~requests =
+  let cfg =
+    { Instance.default_config with
+      paxos =
+        { Paxos.default_config with
+          Paxos.heartbeat_period = Time.ms 100; election_timeout = Time.ms 300;
+          election_jitter = Time.ms 50; round_retry = Time.ms 100 };
+      checkpoint_period = Time.sec 2 }
+  in
+  let cluster = Cluster.create ~seed ~cfg ~server:Ledger.server () in
+  let eng = Cluster.engine cluster in
+  Cluster.start cluster;
+  Cluster.run ~until:(Time.ms 200) cluster;
+  let kill_at = Time.ms 1200 in
+  let dead = ref "" in
+  Engine.at eng kill_at (fun () ->
+      match Cluster.primary_node cluster with
+      | Some p ->
+        dead := p;
+        Cluster.kill cluster p;
+        Engine.after eng (Time.ms 200) (fun () ->
+            Cluster.replace_replica cluster ~dead:p ~fresh:"replica4")
+      | None -> ());
+  let target = Target.cluster cluster ~port:80 in
+  let ledger = Ledger.client () in
+  let handle =
+    Loadgen.run ~name:"reconfig" ~seed ~think:(Time.ms 2) ~retries:8
+      ~retry_backoff:(Time.ms 50) ~clients:6 ~requests
+      ~request:(Ledger.request ledger) target
+  in
+  Loadgen.drive ~timeout:(Time.sec 120) target handle;
+  let load = handle.Loadgen.collect () in
+  (* let the replacement finish joining and catching up *)
+  Cluster.run ~until:(Engine.now eng + Time.sec 3) cluster;
+  Cluster.check_failures cluster;
+  let before = List.filter (fun t -> t < kill_at) load.Loadgen.completions in
+  let last =
+    List.fold_left max Time.zero load.Loadgen.completions
+  in
+  {
+    cr_ok = List.length load.Loadgen.latencies;
+    cr_errors = load.Loadgen.errors;
+    cr_retries = load.Loadgen.retries;
+    cr_epoch = Cluster.current_epoch cluster;
+    cr_steady_gap = max_gap before;
+    cr_unavail = max_gap load.Loadgen.completions;
+    cr_wall = load.Loadgen.wall;
+    cr_healed =
+      Cluster.instance cluster "replica4" <> None
+      && List.mem "replica4" (Cluster.members cluster)
+      && (not (List.mem !dead (Cluster.members cluster)))
+      && Cluster.primary_node cluster <> None;
+    cr_spans_fault = last > kill_at;
+  }
+
+let reconfig_run_json r =
+  Printf.sprintf
+    "{ \"ok\": %d, \"errors\": %d, \"retries\": %d, \"epoch\": %d, \
+     \"steady_gap_ns\": %d, \"unavail_ns\": %d, \"wall_ns\": %d, \
+     \"healed\": %b, \"spans_fault\": %b }"
+    r.cr_ok r.cr_errors r.cr_retries r.cr_epoch r.cr_steady_gap r.cr_unavail
+    r.cr_wall r.cr_healed r.cr_spans_fault
+
+let bench_reconfig_cmd quick seed out check =
+  let requests = if quick then 4000 else 8000 in
+  Printf.printf "bench reconfig: replace the killed primary under load...";
+  flush stdout;
+  let r = reconfig_bench_run ~seed ~requests in
+  (* Same seed, fresh cluster: the availability measurement must be a pure
+     function of the seed for the gate (and CI diffs) to mean anything. *)
+  let r2 = reconfig_bench_run ~seed ~requests in
+  Printf.printf " done\n";
+  let identical = reconfig_run_json r = reconfig_run_json r2 in
+  Table.print
+    ~title:"reconfig bench (kill primary + replace, 6 clients)"
+    ~header:
+      [ "ok"; "errors"; "retries"; "epoch"; "steady max gap"; "unavailability";
+        "healed"; "deterministic" ]
+    [ [ string_of_int r.cr_ok; string_of_int r.cr_errors;
+        string_of_int r.cr_retries; string_of_int r.cr_epoch;
+        Time.to_string r.cr_steady_gap; Time.to_string r.cr_unavail;
+        string_of_bool r.cr_healed; string_of_bool identical ] ];
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"reconfig\",\n  \"seed\": %d,\n  \"requests\": %d,\n  \
+       \"run\": %s,\n  \"rerun_identical\": %b\n}\n"
+      seed requests (reconfig_run_json r) identical
+  in
+  (match open_out out with
+  | oc ->
+    output_string oc json;
+    close_out oc;
+    Printf.printf "wrote %s\n" out
+  | exception Sys_error msg ->
+    Printf.eprintf "crane: cannot write %s: %s\n" out msg;
+    exit 1);
+  if not check then 0
+  else begin
+    let bound = Time.ms 1500 in
+    let ok =
+      r.cr_errors = 0 && r.cr_epoch >= 1 && r.cr_healed && r.cr_spans_fault
+      && r.cr_unavail <= bound && identical
+    in
+    if ok then begin
+      Printf.printf
+        "CHECK OK: 0 errors, epoch %d, unavailability %s (bound %s), \
+         deterministic\n"
+        r.cr_epoch (Time.to_string r.cr_unavail) (Time.to_string bound);
+      0
+    end
+    else begin
+      Printf.printf
+        "CHECK FAIL: errors=%d epoch=%d healed=%b spans-fault=%b unavail=%s \
+         (bound %s) identical=%b\n"
+        r.cr_errors r.cr_epoch r.cr_healed r.cr_spans_fault
+        (Time.to_string r.cr_unavail) (Time.to_string bound) identical;
       1
     end
   end
@@ -1044,6 +1203,22 @@ let bench_recovery_term =
   Term.(const bench_recovery_cmd $ quick_arg $ seed_arg $ recovery_out_arg
         $ recovery_check_arg)
 
+let reconfig_out_arg =
+  Arg.(value & opt string "BENCH_reconfig.json"
+       & info [ "out"; "o" ] ~doc:"Benchmark JSON output file.")
+
+let reconfig_check_arg =
+  Arg.(value & flag
+       & info [ "check" ]
+           ~doc:"Exit nonzero unless the replacement commits (epoch advances, \
+                 fresh replica joins), no request hard-fails, the client-visible \
+                 unavailability stays bounded, and a same-seed rerun is \
+                 byte-identical.")
+
+let bench_reconfig_term =
+  Term.(const bench_reconfig_cmd $ quick_arg $ seed_arg $ reconfig_out_arg
+        $ reconfig_check_arg)
+
 let trace_term =
   Term.(const trace_cmd $ server_arg $ mode_arg $ clients_arg $ requests_arg
         $ seed_arg $ format_arg $ out_arg)
@@ -1110,7 +1285,13 @@ let cmds =
           (Cmd.info "latency"
              ~doc:"Decompose commit latency into critical-path stages per server \
                    and measure what-if deltas; write BENCH_latency.json.")
-          bench_latency_term ];
+          bench_latency_term;
+        Cmd.v
+          (Cmd.info "reconfig"
+             ~doc:"Measure client-visible unavailability while the killed \
+                   primary is replaced through a live membership change; write \
+                   BENCH_reconfig.json.")
+          bench_reconfig_term ];
     Cmd.v
       (Cmd.info "profile"
          ~doc:"Commit critical-path profile: per-stage latency decomposition, \

@@ -51,9 +51,16 @@ type fault =
           still hear its heartbeats, so only primary abdication (on lost
           quorum contact) restores progress *)
   | Partition_random  (** symmetric: isolate a random live replica *)
+  | Partition_node of string  (** symmetric: isolate a specific replica *)
   | Heal  (** remove all partitions *)
   | Loss_window of { loss : float; duration : Time.t }
   | Latency_spike of { base : Time.t; jitter : Time.t; duration : Time.t }
+  | Replace of { dead : string; fresh : string }
+      (** live reconfiguration: swap [dead] out of the membership for a
+          freshly booted [fresh], routed through consensus *)
+  | Autoheal
+      (** arm the cluster's failure detector: suspected-dead members are
+          replaced automatically from here on *)
 
 let fault_name = function
   | Crash_primary { torn_wal } -> if torn_wal then "crash_primary_torn" else "crash_primary"
@@ -64,9 +71,12 @@ let fault_name = function
   | Partition_primary -> "partition_primary"
   | Partition_oneway_primary -> "partition_oneway_primary"
   | Partition_random -> "partition_random"
+  | Partition_node n -> "partition_node " ^ n
   | Heal -> "heal"
   | Loss_window _ -> "loss_window"
   | Latency_spike _ -> "latency_spike"
+  | Replace { dead; fresh } -> Printf.sprintf "replace %s -> %s" dead fresh
+  | Autoheal -> "autoheal"
 
 type step = { at : Time.t; fault : fault }
 
@@ -111,6 +121,9 @@ type report = {
   r_torn_discarded : int;
   r_compactions : int;  (** log-compaction rounds across all replicas *)
   r_snapshots_installed : int;  (** replicas fast-forwarded via snapshot *)
+  r_reconfigs : int;  (** membership changes activated (max over replicas) *)
+  r_epoch : int;  (** configuration epoch in force at the end of the run *)
+  r_fenced_drops : int;  (** messages dropped from fenced-out old members *)
   r_checkpoints_skipped : int;  (** rounds abandoned: connections never drained *)
   r_acked : int;
   r_ok : int;
@@ -166,6 +179,8 @@ let render_report r =
   line "torn WAL discarded: %d records" r.r_torn_discarded;
   line "compactions:        %d rounds" r.r_compactions;
   line "snapshot installs:  %d" r.r_snapshots_installed;
+  line "reconfigurations:   %d (final epoch %d, %d fenced drops)" r.r_reconfigs
+    r.r_epoch r.r_fenced_drops;
   line "checkpoints skipped:%d" r.r_checkpoints_skipped;
   line "final primary:      %s" (Option.value r.final_primary ~default:"(none)");
   Buffer.add_string b
@@ -186,6 +201,9 @@ type driver = {
   cluster : Cluster.t;
   eng : Engine.t;
   nemesis : Rng.t;
+  boot_members : string list;
+      (** the configuration the cluster booted with — replicas outside it
+          joined live, and only ever saw the log from their join point *)
   mutable crashed : string list;  (** oldest first *)
   ever_crashed : (string, unit) Hashtbl.t;
   mutable injected : (Time.t * string) list;  (** newest first *)
@@ -224,8 +242,15 @@ let kill_node d ~torn node =
   Hashtbl.replace d.ever_crashed node ();
   note d (if torn then "crash_torn" else "crash") node
 
+(* Quorum guard against the configuration currently in force, not the
+   boot-time member list: after a reconfiguration the old list would both
+   under-count (freshly joined replicas are real voters) and over-count
+   (a fenced instance still winding down is not).  Only live replicas
+   that are members of the current epoch contribute to the quorum. *)
 let quorum_safe_to_kill d =
-  List.length (live_nodes d) - 1 >= majority (Cluster.members d.cluster)
+  let members = Cluster.members d.cluster in
+  let live_voters = List.filter (fun n -> List.mem n members) (live_nodes d) in
+  List.length live_voters - 1 >= majority members
 
 let apply_fault d fault =
   let fab = Cluster.fabric d.cluster in
@@ -279,6 +304,16 @@ let apply_fault d fault =
       let rest = List.filter (fun m -> m <> n) (Cluster.members d.cluster) in
       Fabric.partition fab [ n ] rest;
       note d "partition" n)
+  | Partition_node n ->
+    let rest = List.filter (fun m -> m <> n) (Cluster.members d.cluster) in
+    Fabric.partition fab [ n ] rest;
+    note d "partition" n
+  | Replace { dead; fresh } ->
+    Cluster.replace_replica d.cluster ~dead ~fresh;
+    note d "replace" (dead ^ " -> " ^ fresh)
+  | Autoheal ->
+    Cluster.enable_autoheal d.cluster;
+    note d "autoheal" "armed"
   | Heal ->
     Fabric.heal fab;
     note d "heal" ""
@@ -441,13 +476,18 @@ let final_checks d ~(ledger : Ledger.client) ~probe_errors =
               (fun (nb, ib) ->
                 if !v = None then
                   let oa = Instance.output ia and ob = Instance.output ib in
-                  let fresh n = not (Hashtbl.mem d.ever_crashed n) in
+                  let fresh n =
+                    (not (Hashtbl.mem d.ever_crashed n))
+                    && List.mem n d.boot_members
+                  in
                   let ok =
                     if fresh na && fresh nb then
                       Output_log.first_divergence oa ob = None
                     else
-                      (* a restarted replica only re-emits post-checkpoint
-                         outputs: one log must be a suffix of the other *)
+                      (* a restarted replica — or one that joined live via
+                         reconfiguration — only re-emits outputs from its
+                         checkpoint / join point onward: one log must be a
+                         suffix of the other *)
                       Output_log.is_suffix ~of_:oa ob || Output_log.is_suffix ~of_:ob oa
                   in
                   if not ok then
@@ -489,6 +529,32 @@ let final_checks d ~(ledger : Ledger.client) ~probe_errors =
             end)
           live;
         !v);
+    check "epoch-agreement" (fun () ->
+        (* every live replica must be in the same configuration epoch with
+           the same membership, and must itself be a member of it — a
+           fenced replica that kept serving, or a joiner stuck on a stale
+           config, shows up here *)
+        let infos =
+          List.map
+            (fun (n, i) ->
+              ( n,
+                Paxos.epoch i.Instance.paxos,
+                List.sort compare (Paxos.members i.Instance.paxos) ))
+            live
+        in
+        match infos with
+        | [] -> Some "no live replicas"
+        | (n0, e0, m0) :: rest -> (
+          match List.find_opt (fun (_, e, m) -> e <> e0 || m <> m0) rest with
+          | Some (n, e, _) ->
+            Some
+              (Printf.sprintf "%s at epoch %d disagrees with %s at epoch %d" n e
+                 n0 e0)
+          | None -> (
+            match List.find_opt (fun (n, _, _) -> not (List.mem n m0)) infos with
+            | Some (n, _, _) ->
+              Some (Printf.sprintf "%s is live but not a member of epoch %d" n e0)
+            | None -> None)));
     check "quorum-liveness" (fun () ->
         if Cluster.primary_node d.cluster = None then Some "no primary after heal"
         else if probe_errors > 0 then
@@ -521,6 +587,9 @@ let chaos_config =
            pagination paths, not just the steady state. *)
         compaction_threshold = 32;
         catchup_chunk = 64;
+        (* Fast suspicion so autoheal scenarios detect a dead member well
+           inside the schedule horizon. *)
+        suspect_timeout = Time.ms 450;
       };
     checkpoint_period = Time.sec 2;
     (* Small enough that chaos runs actually trim the output log, forcing
@@ -544,6 +613,7 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
       cluster;
       eng;
       nemesis = Rng.create ((seed * 1_000_003) + 0x5eed);
+      boot_members = Cluster.members cluster;
       crashed = [];
       ever_crashed = Hashtbl.create 8;
       injected = [];
@@ -567,7 +637,7 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
   let target = Target.cluster cluster ~port:80 in
   let ledger = Ledger.client () in
   let handle =
-    Loadgen.run ~name:"chaos" ~think:scenario.think ~retries:6
+    Loadgen.run ~name:"chaos" ~seed ~think:scenario.think ~retries:6
       ~retry_backoff:(Time.ms 100) ~clients:scenario.clients ~requests:scenario.requests
       ~request:(Ledger.request ledger) target
   in
@@ -587,7 +657,7 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
   (* liveness probe: with the network healed and a quorum up, every
      request must succeed *)
   let probe =
-    Loadgen.run ~name:"probe" ~retries:8 ~retry_backoff:(Time.ms 100) ~clients:2
+    Loadgen.run ~name:"probe" ~seed ~retries:8 ~retry_backoff:(Time.ms 100) ~clients:2
       ~requests:20 ~request:(Ledger.request ledger) target
   in
   Loadgen.drive ~timeout:(Time.sec 60) target probe;
@@ -642,6 +712,12 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
     r_torn_discarded = sum (fun p -> (Paxos.stats p).Paxos.wal_torn_discarded);
     r_compactions = sum (fun p -> (Paxos.stats p).Paxos.compactions);
     r_snapshots_installed = snapshots_installed;
+    r_reconfigs =
+      List.fold_left
+        (fun acc (_, inst) -> max acc (Paxos.stats inst.Instance.paxos).Paxos.reconfigs)
+        0 (Cluster.instances cluster);
+    r_epoch = Cluster.current_epoch cluster;
+    r_fenced_drops = sum (fun p -> (Paxos.stats p).Paxos.fenced_drops);
     r_checkpoints_skipped =
       List.fold_left
         (fun acc (_, inst) ->
@@ -759,6 +835,50 @@ let scenarios =
       duration = Time.sec 6;
       requests = 200;
       schedule = Probabilistic { faults = 6; start = Time.ms 500; stop = Time.sec 5 } };
+    { base with
+      name = "reconfig-partition";
+      about = "isolate a replica, then reconfigure it out of the membership while \
+               it is unreachable: the joint quorum spans old and new configs, and \
+               on heal the stale replica must fence itself instead of voting";
+      duration = Time.sec 5;
+      schedule =
+        Timed
+          [ { at = Time.sec 1; fault = Partition_node "replica3" };
+            { at = Time.ms 1400;
+              fault = Replace { dead = "replica3"; fresh = "replica4" } };
+            { at = Time.ms 3200; fault = Heal } ] };
+    {
+      name = "replace-catchup";
+      about = "crash a backup early, run thousands of events past the compaction \
+               watermark, then replace it with a fresh replica: the joiner's empty \
+               log is behind the freed prefix, so bootstrap must come through \
+               snapshot transfer + chunked catch-up";
+      duration = Time.sec 8;
+      settle = Time.sec 2;
+      clients = 8;
+      requests = 2400;
+      think = Time.ms 3;
+      expect_snapshot = true;
+      schedule =
+        Timed
+          [ { at = Time.ms 400; fault = Crash_node "replica3" };
+            (* past the first completed checkpoint + compaction round, so
+               the joiner's bootstrap cannot be served from the log *)
+            { at = Time.sec 7;
+              fault = Replace { dead = "replica3"; fresh = "replica4" } } ] };
+    { base with
+      name = "kill-autoheal-kill";
+      about = "arm the failure detector, then kill two replicas in sequence: each \
+               loss must be detected and replaced automatically, ending at epoch 2 \
+               with a healthy quorum of survivors and spawned replacements";
+      duration = Time.sec 6;
+      settle = Time.sec 2;
+      requests = 200;
+      schedule =
+        Timed
+          [ { at = Time.ms 100; fault = Autoheal };
+            { at = Time.ms 800; fault = Crash_node "replica3" };
+            { at = Time.ms 3200; fault = Crash_node "replica2" } ] };
   ]
 
 let find_scenario name = List.find_opt (fun s -> s.name = name) scenarios

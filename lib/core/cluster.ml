@@ -1,7 +1,10 @@
 (** A deployed CRANE system: three (or five) replicas in a LAN, each
     running a CRANE instance with the same server program (paper §2).
     Handles the full lifecycle — boot, primary failure, recovery of a
-    replica from a backup's checkpoint plus log replay (§5.2). *)
+    replica from a backup's checkpoint plus log replay (§5.2), and live
+    membership reconfiguration: add / remove / replace replicas through
+    consensus, plus an optional failure detector that replaces suspected
+    dead members automatically. *)
 
 module Time = Crane_sim.Time
 module Engine = Crane_sim.Engine
@@ -16,14 +19,26 @@ module Manager = Crane_checkpoint.Manager
 type t = {
   eng : Engine.t;
   rng : Rng.t;
+  seed : int;
   fabric : Fabric.t;
   world : Sock.world;
-  members : string list;
+  (* The configuration currently in force, kept in sync with consensus by
+     the instances' on_config callbacks.  Starts as the boot member
+     list. *)
+  mutable cur_members : string list;
+  mutable cur_epoch : int;
   cfg : Instance.config;
   server : Api.server;
   wals : (string, Wal.t) Hashtbl.t;
   mutable instances : (string * Instance.t) list;
   mutable checkpoint_node : string option;
+  (* Autoheal state: suspected members with a replacement in flight, the
+     earliest instant the next automatic replacement may start (backoff),
+     and a counter naming the spawned replicas. *)
+  healing : (string, unit) Hashtbl.t;
+  mutable autoheal : bool;
+  mutable heal_not_before : Time.t;
+  mutable auto_spawned : int;
 }
 
 let default_members = [ "replica1"; "replica2"; "replica3" ]
@@ -38,20 +53,31 @@ let create ?(seed = 42) ?(members = default_members) ?(cfg = Instance.default_co
   {
     eng;
     rng;
+    seed;
     fabric;
     world;
-    members;
+    cur_members = members;
+    cur_epoch = 0;
     cfg;
     server;
     wals = Hashtbl.create 4;
     instances = [];
     checkpoint_node = None;
+    healing = Hashtbl.create 4;
+    autoheal = false;
+    heal_not_before = Time.zero;
+    auto_spawned = 0;
   }
 
 let engine t = t.eng
 let fabric t = t.fabric
 let world t = t.world
-let members t = t.members
+
+let members t = t.cur_members
+(** The membership of the configuration currently in force (boot members
+    until the first reconfiguration activates). *)
+
+let current_epoch t = t.cur_epoch
 let instances t = t.instances
 let instance t node = List.assoc_opt node t.instances
 
@@ -63,29 +89,18 @@ let wal_for t node =
     Hashtbl.add t.wals node w;
     w
 
-let boot_node t ?skip_upto ?preloaded_fs ?restore_state ?as_primary node =
-  let inst =
-    Instance.boot ~eng:t.eng ~fabric:t.fabric ~world:t.world ~rng:(Rng.split t.rng)
-      ~wal:(wal_for t node) ~members:t.members ~node ~cfg:t.cfg ~server:t.server
-      ?skip_upto ?preloaded_fs ?restore_state ?as_primary ()
-  in
-  t.instances <- t.instances @ [ (node, inst) ];
-  inst
-
-(** Boot all replicas.  The checkpoint component runs on the first backup,
-    as in the paper ("done every minute on one backup replica"). *)
-let start ?(checkpoints = true) t =
-  List.iter (fun node -> ignore (boot_node t node)) t.members;
-  match t.members with
-  | _ :: backup :: _ when checkpoints -> (
-    t.checkpoint_node <- Some backup;
-    match instance t backup with
-    | Some inst -> Instance.start_checkpointing inst
-    | None -> ())
-  | _ -> ()
-
 let primary t =
-  List.find_opt (fun (_, inst) -> Instance.is_primary inst) t.instances
+  (* Prefer the highest view: during a failover an isolated old primary
+     can still believe in itself for a while. *)
+  List.fold_left
+    (fun best (node, inst) ->
+      if not (Instance.is_primary inst) then best
+      else
+        match best with
+        | Some (_, b) when Paxos.view b.Instance.paxos >= Paxos.view inst.Instance.paxos
+          -> best
+        | _ -> Some (node, inst))
+    None t.instances
 
 let primary_node t = Option.map fst (primary t)
 
@@ -99,6 +114,43 @@ let kill ?(wal_torn = false) t node =
     t.instances <- List.remove_assoc node t.instances;
     if wal_torn then ignore (Wal.crash_torn_tail (wal_for t node))
   | None -> ()
+
+(* A replica that learned it was reconfigured out has shed its clients
+   and gone silent; retire the instance so it stops burning (virtual)
+   cycles and drops out of output/state comparisons. *)
+let decommission t node =
+  match instance t node with
+  | Some inst when Paxos.fenced inst.Instance.paxos -> kill t node
+  | Some _ | None -> ()
+
+let boot_node t ?skip_upto ?preloaded_fs ?restore_state ?as_primary node =
+  let inst =
+    Instance.boot ~eng:t.eng ~fabric:t.fabric ~world:t.world ~rng:(Rng.split t.rng)
+      ~wal:(wal_for t node) ~members:t.cur_members ~node ~cfg:t.cfg ~server:t.server
+      ?skip_upto ?preloaded_fs ?restore_state ?as_primary
+      ~on_config:(fun ~epoch members ->
+        if epoch > t.cur_epoch then begin
+          t.cur_epoch <- epoch;
+          t.cur_members <- members
+        end)
+      ~on_fence:(fun ~epoch:_ ->
+        Engine.after t.eng (Time.ms 10) (fun () -> decommission t node))
+      ()
+  in
+  t.instances <- t.instances @ [ (node, inst) ];
+  inst
+
+(** Boot all replicas.  The checkpoint component runs on the first backup,
+    as in the paper ("done every minute on one backup replica"). *)
+let start ?(checkpoints = true) t =
+  List.iter (fun node -> ignore (boot_node t node)) t.cur_members;
+  match t.cur_members with
+  | _ :: backup :: _ when checkpoints -> (
+    t.checkpoint_node <- Some backup;
+    match instance t backup with
+    | Some inst -> Instance.start_checkpointing inst
+    | None -> ())
+  | _ -> ()
 
 (** The latest checkpoint available on any live replica. *)
 let latest_checkpoint t =
@@ -141,6 +193,132 @@ let restart t node =
        so recovery does not silently stop future checkpoints. *)
     if t.checkpoint_node = Some node then Instance.start_checkpointing inst;
     inst
+
+(* ------------------------------------------------------------------ *)
+(* Live membership reconfiguration.  Every change routes through
+   consensus: a management thread submits a Reconfig to the current
+   primary and waits for the new configuration to activate, retrying
+   with doubled backoff across primary failovers.  Only once activation
+   is observed does any local state change (booting the fresh replica,
+   re-arming checkpoints). *)
+
+let same_members a b = List.sort compare a = List.sort compare b
+
+let reconfigure t ~label ~mutate ~on_done =
+  Engine.spawn t.eng ~name:label (fun () ->
+      let deadline = Engine.now t.eng + Time.sec 30 in
+      let rec attempt backoff =
+        let desired = mutate t.cur_members in
+        if same_members desired t.cur_members then on_done true
+        else if Engine.now t.eng >= deadline then on_done false
+        else begin
+          (match primary t with
+          | Some (_, inst) ->
+            ignore (Paxos.submit_reconfig inst.Instance.paxos desired)
+          | None -> ());
+          let wait_until = min deadline (Engine.now t.eng + backoff) in
+          let rec wait () =
+            if same_members t.cur_members desired then true
+            else if Engine.now t.eng >= wait_until then false
+            else begin
+              Engine.sleep t.eng (Time.ms 25);
+              wait ()
+            end
+          in
+          if wait () then on_done true
+          else attempt (min (backoff * 2) (Time.sec 2))
+        end
+      in
+      attempt (Time.ms 250))
+
+(** Add a fresh replica: commit the membership change first, then boot
+    the node — it is already a member when it first speaks (epoch 0
+    messages from a member pass the fence), and catches up via chunked
+    log transfer or, when the prefix is compacted, a snapshot push. *)
+let add_replica t node =
+  reconfigure t ~label:("reconfig-add-" ^ node)
+    ~mutate:(fun ms -> if List.mem node ms then ms else ms @ [ node ])
+    ~on_done:(fun ok ->
+      if ok && instance t node = None && List.mem node t.cur_members then
+        ignore (boot_node t node))
+
+(** Remove a replica from the configuration.  If it is still running it
+    fences itself on first contact with a member of the new epoch and is
+    then decommissioned. *)
+let remove_replica t node =
+  reconfigure t ~label:("reconfig-remove-" ^ node)
+    ~mutate:(fun ms -> List.filter (fun n -> n <> node) ms)
+    ~on_done:(fun ok ->
+      if ok && t.checkpoint_node = Some node then
+        (* Checkpointing lived on the removed node: re-arm on a surviving
+           backup so compaction keeps its snapshot supply. *)
+        match
+          List.filter
+            (fun (n, _) -> n <> node && primary_node t <> Some n)
+            t.instances
+        with
+        | (n, inst) :: _ ->
+          t.checkpoint_node <- Some n;
+          Instance.start_checkpointing inst
+        | [] -> ())
+
+(** Replace [dead] (typically crashed or partitioned away) with [fresh]
+    in one configuration step: the joint quorum spans both configs, so
+    the swap commits as long as a majority of each is alive — including
+    the case where [dead] itself is the unreachable one. *)
+let replace_replica t ~dead ~fresh =
+  Hashtbl.replace t.healing dead ();
+  reconfigure t
+    ~label:(Printf.sprintf "reconfig-replace-%s-%s" dead fresh)
+    ~mutate:(fun ms ->
+      List.filter (fun n -> n <> dead) ms
+      @ if List.mem fresh ms then [] else [ fresh ])
+    ~on_done:(fun ok ->
+      Hashtbl.remove t.healing dead;
+      if ok && instance t fresh = None && List.mem fresh t.cur_members then begin
+        let inst = boot_node t fresh in
+        if t.checkpoint_node = Some dead then begin
+          t.checkpoint_node <- Some fresh;
+          Instance.start_checkpointing inst
+        end
+      end)
+
+(** Self-healing: poll the primary's failure detector and automatically
+    replace suspected-dead members with freshly named replicas.  The poll
+    period carries seeded jitter (so co-deployed clusters don't detect in
+    lockstep) and replacements are rate-limited by [backoff]. *)
+let enable_autoheal ?(detect = Time.ms 600) ?(backoff = Time.ms 500) t =
+  if not t.autoheal then begin
+    t.autoheal <- true;
+    (* A dedicated stream (not [t.rng]) so arming the healer never shifts
+       the draws of fabrics and instances created before or after. *)
+    let hrng = Rng.create (t.seed lxor 0x4ea1b0f) in
+    let rec loop () =
+      let jitter = Rng.int hrng (max 1 (detect / 3)) in
+      Engine.after t.eng ((detect / 2) + jitter) (fun () ->
+          if t.autoheal then begin
+            (match primary t with
+            | Some (_, inst) -> (
+              let sus =
+                List.filter
+                  (fun n -> not (Hashtbl.mem t.healing n))
+                  (Paxos.suspects inst.Instance.paxos)
+              in
+              match sus with
+              | dead :: _ when Engine.now t.eng >= t.heal_not_before ->
+                t.heal_not_before <- Engine.now t.eng + backoff;
+                t.auto_spawned <- t.auto_spawned + 1;
+                let fresh = Printf.sprintf "auto%d" t.auto_spawned in
+                replace_replica t ~dead ~fresh
+              | _ -> ())
+            | None -> ());
+            loop ()
+          end)
+    in
+    loop ()
+  end
+
+let disable_autoheal t = t.autoheal <- false
 
 let outputs t =
   List.map (fun (node, inst) -> (node, Instance.output inst)) t.instances

@@ -102,10 +102,15 @@ let vhost_config (cfg : config) =
     from a checkpoint taken at that global index: decisions up to it are
     not re-delivered.  [preloaded_fs] supplies the restored filesystem. *)
 let boot ~eng ~fabric ~world ~rng ~wal ~members ~node ~(cfg : config) ~(server : Api.server)
-    ?(skip_upto = 0) ?preloaded_fs ?restore_state ?(as_primary = false) () =
+    ?(skip_upto = 0) ?preloaded_fs ?restore_state ?(as_primary = false)
+    ?(on_config = fun ~epoch:_ _ -> ()) ?(on_fence = fun ~epoch:_ -> ()) () =
   let group = Engine.new_group eng in
   Crane_trace.Trace.register_group (Engine.trace eng) ~group ~node;
   Fabric.node_up fabric node;
+  (* Late joiners and reboots alike start with a clean transport: stale
+     connection state from a previous incarnation of this name is
+     discarded before the listener comes up. *)
+  Sock.node_booted world node;
   Engine.on_kill eng group (fun () ->
       Fabric.node_down fabric node;
       Sock.node_crashed world node);
@@ -137,7 +142,8 @@ let boot ~eng ~fabric ~world ~rng ~wal ~members ~node ~(cfg : config) ~(server :
   let vhost = Vhost.create ~node eng ~cfg:(vhost_config cfg) ~clocking in
   let proxy =
     Proxy.create ~eng ~node ~world ~port:cfg.service_port ~paxos ~vhost ~group
-      ~skip_upto ~batch_max:cfg.batch_max ~batch_delay:cfg.batch_delay ()
+      ~skip_upto ~batch_max:cfg.batch_max ~batch_delay:cfg.batch_delay
+      ~on_config ~on_fence ()
   in
   let runtime =
     match (cfg.mode, dmt) with
@@ -195,13 +201,18 @@ let boot ~eng ~fabric ~world ~rng ~wal ~members ~node ~(cfg : config) ~(server :
   { node; group; cfg; fsys; container; cores; vhost; proxy; paxos; dmt; runtime;
     handle; manager }
 
-(** Replay decided-but-post-checkpoint socket calls into the server. *)
+(** Replay decided-but-post-checkpoint socket calls into the server.
+    Reconfig entries are consensus-internal (live delivery activates them
+    instead of invoking [on_commit]): skip them here too, or replay would
+    feed a config payload to [Event.decode]. *)
 let replay_from t ~from_index =
   let values =
     Paxos.get_committed_range t.paxos ~lo:from_index ~hi:(Paxos.committed t.paxos)
   in
   List.iteri
-    (fun i v -> Vhost.deliver t.vhost ~index:(from_index + i) (Event.decode v))
+    (fun i v ->
+      if not (Paxos.is_config_value v) then
+        Vhost.deliver t.vhost ~index:(from_index + i) (Event.decode v))
     values
 
 (* The application snapshot consensus disseminates for compaction and

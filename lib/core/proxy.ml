@@ -219,7 +219,8 @@ let rec orphan_monitor t =
       end)
 
 let create ~eng ~node ~world ~port ~paxos ~vhost ~group ~skip_upto
-    ?(batch_max = 1) ?(batch_delay = Time.us 100) () =
+    ?(batch_max = 1) ?(batch_delay = Time.us 100)
+    ?(on_config = fun ~epoch:_ _ -> ()) ?(on_fence = fun ~epoch:_ -> ()) () =
   let t =
     {
       eng;
@@ -295,6 +296,14 @@ let create ~eng ~node ~world ~port ~paxos ~vhost ~group ~skip_upto
               Hashtbl.remove t.client_conns id;
               Sock.close c)
             (List.sort (fun (a, _) (b, _) -> compare a b) shed));
+      (* Membership changed under us: the hosting layer re-resolves (the
+         cluster records the new config; client targets re-read it per
+         retry). *)
+      on_config = (fun ~epoch members -> on_config ~epoch members);
+      (* Reconfigured out: on_demote already shed the clients (fencing
+         demotes first); tell the hosting layer so it retires this
+         instance. *)
+      on_fence = (fun ~epoch -> on_fence ~epoch);
     };
   (* Client -> consensus path. *)
   let listener = Sock.listen world ~node ~port in

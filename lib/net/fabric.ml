@@ -109,6 +109,11 @@ let note_drop t ~src ~dst ~reason =
       ~node:dst.node ~cat:"net" ~name:"drop"
       [ ("src", Trace.Str src.node); ("reason", Trace.Str reason) ]
 
+(* Application-level rejection of an already-delivered message — e.g.
+   paxos fencing a stale config epoch.  Counts and traces like a fabric
+   drop so chaos reports and timelines show why the message died. *)
+let reject t ~src ~dst ~reason = note_drop t ~src ~dst ~reason
+
 let send ?(bytes = 0) t ~src ~dst msg =
   if not (Hashtbl.mem t.up src.node) then node_up t src.node;
   let link = (src.node, dst.node) in

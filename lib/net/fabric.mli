@@ -71,6 +71,11 @@ val send : ?bytes:int -> t -> src:endpoint -> dst:endpoint -> message -> unit
     ordinary protocol messages leave it 0 so fixed-seed timings are
     unchanged). *)
 
+val reject : t -> src:endpoint -> dst:endpoint -> reason:string -> unit
+(** Record an application-level rejection of an already-delivered message
+    (e.g. consensus fencing a stale config epoch): counts and traces like
+    a fabric drop, with [reason] on the receiver's timeline. *)
+
 val delivered : t -> int
 (** Total messages delivered so far (for tests and consensus-cost stats). *)
 

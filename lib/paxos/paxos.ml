@@ -12,6 +12,9 @@ type config = {
   round_retry : Time.t;
   compaction_threshold : int;
   catchup_chunk : int;
+  suspect_timeout : Time.t;
+      (** failure detector: a member silent this long is suspected dead
+          (primary-side input to automated replacement) *)
 }
 
 let default_config =
@@ -22,6 +25,7 @@ let default_config =
     round_retry = Time.ms 500;
     compaction_threshold = 1024;
     catchup_chunk = 256;
+    suspect_timeout = Time.sec 5;
   }
 
 let paxos_port = 1
@@ -48,25 +52,59 @@ type Fabric.message +=
   | Catchup_resp of { rview : int; primary : Fabric.node; entries : (int * string) list; committed : int }
   | Snapshot_push of { s_index : int; blob : string }
       (** checkpoint node disseminates the latest application snapshot *)
-  | Snapshot_resp of { s_index : int; blob : string; s_committed : int }
-      (** two-tier catch-up: the requested prefix is compacted away *)
+  | Snapshot_resp of
+      { s_index : int;
+        blob : string;
+        s_committed : int;
+        s_epoch : int;
+        s_members : Fabric.node list
+      }
+      (** two-tier catch-up: the requested prefix is compacted away.  The
+          serving replica's configuration rides along so a fresh joiner
+          bootstrapping from a snapshot learns the membership its state
+          was produced under. *)
   | Compact of { cwatermark : int }
       (** primary-coordinated watermark: drop log/ack entries <= it *)
+  | Epoched of { e : int; inner : Fabric.message }
+      (** every paxos message is stamped with the sender's config epoch:
+          receivers fence traffic from departed members *)
+  | Fenced of { f_epoch : int }
+      (** authoritative rejection: the sender is not a member of config
+          epoch [f_epoch] — stop voting and serving *)
 
 type wal_record =
   | Wal_accept of int * int * string
   | Wal_commit of int
-  | Wal_trunc of { watermark : int; s_index : int; blob : string }
+  | Wal_trunc of
+      { watermark : int;
+        s_index : int;
+        blob : string;
+        t_epoch : int;
+        t_members : Fabric.node list
+      }
       (** truncation header: entries <= [watermark] live in the snapshot
           [blob] taken at [s_index]; everything older in the WAL is
-          logically void even if a crash left it on disk *)
+          logically void even if a crash left it on disk.  The config in
+          force at truncation time is recorded so recovery of a compacted
+          WAL still knows its membership. *)
 
 type handlers = {
   on_commit : index:int -> string -> unit;
   on_demote : unit -> unit;
+  on_config : epoch:int -> Fabric.node list -> unit;
+      (** a new configuration just activated on this replica *)
+  on_fence : epoch:int -> unit;
+      (** this replica was removed by config [epoch]: it may neither vote
+          nor serve again *)
 }
 
-let null_handlers = { on_commit = (fun ~index:_ _ -> ()); on_demote = (fun () -> ()) }
+let null_handlers =
+  {
+    on_commit = (fun ~index:_ _ -> ());
+    on_demote = (fun () -> ());
+    on_config = (fun ~epoch:_ _ -> ());
+    on_fence = (fun ~epoch:_ -> ());
+  }
 
 type compaction_hooks = {
   install_snapshot : index:int -> string -> unit;
@@ -91,7 +129,15 @@ type t = {
   eng : Engine.t;
   rng : Rng.t;
   wal : Wal.t;
-  members : Fabric.node list;
+  (* Membership is a replicated value: [members] is the configuration of
+     [epoch], changed only by activating a committed Reconfig entry.
+     Between a Reconfig entry entering the log and its activation,
+     [pending_members] holds the proposed configuration and every quorum
+     check requires a majority of BOTH (joint consensus). *)
+  mutable members : Fabric.node list;
+  mutable epoch : int;
+  mutable pending_members : Fabric.node list option;
+  mutable fenced : bool;
   self : Fabric.node;
   group : Engine.group;
   mutable view : int;
@@ -114,12 +160,24 @@ type t = {
   (* Primary-side watermark input: last applied index each peer reported
      in a Heartbeat_ok, with the instant it was heard. *)
   peer_applied : (Fabric.node, int * Time.t) Hashtbl.t;
+  (* Failure detector input: last instant each member was heard from at
+     all (any message).  [suspects] compares this against
+     suspect_timeout. *)
+  peer_heard : (Fabric.node, Time.t) Hashtbl.t;
   (* Failure detection / election. *)
   mutable last_heartbeat : Time.t;
   (* Last instant any peer was heard from: a primary that loses quorum
      contact for election_timeout abdicates (one-way-partition liveness). *)
   mutable last_peer_contact : Time.t;
   mutable election : election option;
+  (* Consecutive View_change deferrals since the last heartbeat from a
+     live primary.  Deferring (refreshing our election timer) to another
+     node's in-flight election avoids duels, but must be bounded: a
+     proposer on the far side of a one-way partition never hears its
+     acks and retries forever with higher views, and unbounded deference
+     would suppress everyone else's timer and leave the cluster
+     leaderless. *)
+  mutable vc_defers : int;
   mutable started : bool;
   (* Stats. *)
   mutable decisions : int;
@@ -133,6 +191,8 @@ type t = {
   mutable snapshots_served : int;
   mutable snapshots_installed : int;
   mutable peak_log : int;
+  mutable reconfigs : int;
+  mutable fenced_drops : int;
   (* Batching accounting (proposer side): proposed batches waiting for
      their whole index range to commit, oldest first, plus the committed
      histogram. *)
@@ -159,16 +219,23 @@ type stats = {
   log_resident : int;
   peak_log_resident : int;
   acks_resident : int;
+  epoch : int;
+  reconfigs : int;
+  fenced_drops : int;
 }
 
 let node t = t.self
 let view t = t.view
 let primary t = t.primary
-let is_primary t = t.primary = Some t.self
+let is_primary t = (not t.fenced) && t.primary = Some t.self
 let committed t = t.committed
 let applied t = t.applied
 let base t = t.base
 let snapshot t = t.snapshot
+let members (t : t) = t.members
+let epoch (t : t) = t.epoch
+let fenced (t : t) = t.fenced
+let reconfig_pending (t : t) = t.pending_members <> None
 let set_handlers t handlers = t.handlers <- handlers
 let set_compaction_hooks t hooks = t.hooks <- hooks
 
@@ -193,6 +260,9 @@ let stats (t : t) : stats =
     log_resident = Hashtbl.length t.log;
     peak_log_resident = t.peak_log;
     acks_resident = Hashtbl.length t.acks;
+    epoch = t.epoch;
+    reconfigs = t.reconfigs;
+    fenced_drops = t.fenced_drops;
   }
 
 let fire_demote t =
@@ -203,17 +273,169 @@ let fire_demote t =
   Queue.clear t.open_batches;
   t.handlers.on_demote ()
 
-let majority t = (List.length t.members / 2) + 1
-let others t = List.filter (fun n -> n <> t.self) t.members
-
 let ep node = { Fabric.node; port = paxos_port }
+let trace t = Engine.trace t.eng
 
-let cast t msg = List.iter (fun n -> Fabric.send t.fabric ~src:(ep t.self) ~dst:(ep n) msg) (others t)
-let tell t n msg = Fabric.send t.fabric ~src:(ep t.self) ~dst:(ep n) msg
+(* ------------------------------------------------------------------ *)
+(* Membership as a replicated value.  A Reconfig is an ordinary log
+   entry whose payload is a tagged (epoch, members) pair; it flows
+   through the same Accept/ack/commit machinery as client commands and
+   activates when applied.  The tag keeps config entries distinguishable
+   from opaque application values (which are Marshal blobs and never
+   start with it). *)
+
+let config_tag = "CRANE-CFG:"
+
+let encode_config ~epoch ~members =
+  config_tag ^ Marshal.to_string ((epoch, members) : int * Fabric.node list) []
+
+let decode_config v =
+  let tl = String.length config_tag in
+  if String.length v > tl && String.sub v 0 tl = config_tag then
+    try Some (Marshal.from_string v tl : int * Fabric.node list) with _ -> None
+  else None
+
+let is_config_value v = decode_config v <> None
+
+(* Joint consensus: between a Reconfig entering the log and its
+   activation, progress (commits AND elections) needs a majority of the
+   old configuration and a majority of the proposed one.  Either
+   majority alone could otherwise commit conflicting histories during
+   the handover window. *)
+let quorum_reached (t : t) voters =
+  let maj cfg = (List.length cfg / 2) + 1 in
+  let tally cfg = List.length (List.filter (fun n -> List.mem n cfg) voters) in
+  tally t.members >= maj t.members
+  && match t.pending_members with
+     | Some next -> tally next >= maj next
+     | None -> true
+
+(* Union of current and pending members (dedup preserves order): the
+   broadcast domain during a joint window. *)
+let recipients (t : t) =
+  let all =
+    match t.pending_members with
+    | None -> t.members
+    | Some next ->
+      List.fold_left
+        (fun acc n -> if List.mem n acc then acc else acc @ [ n ])
+        t.members next
+  in
+  List.filter (fun n -> n <> t.self) all
+
+let is_member (t : t) n =
+  List.mem n t.members
+  || match t.pending_members with Some m -> List.mem n m | None -> false
+
+(* Every outbound message carries the sender's epoch so stale members
+   can be fenced at the receiver. *)
+let cast (t : t) msg =
+  let wrapped = Epoched { e = t.epoch; inner = msg } in
+  List.iter
+    (fun n -> Fabric.send t.fabric ~src:(ep t.self) ~dst:(ep n) wrapped)
+    (recipients t)
+
+let tell (t : t) n msg =
+  Fabric.send t.fabric ~src:(ep t.self) ~dst:(ep n)
+    (Epoched { e = t.epoch; inner = msg })
+
+let member_event (t : t) ~name args =
+  let tr = trace t in
+  if Trace.enabled tr then
+    Trace.member tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+      ~node:t.self ~name args
+
+(* A fenced replica is out of the configuration for good: shed clients,
+   forget any primaryship or election, and go silent.  The inbound path
+   drops everything once [fenced] is set. *)
+let fence_self (t : t) ~epoch =
+  if not t.fenced then begin
+    t.fenced <- true;
+    t.primary <- None;
+    t.election <- None;
+    member_event t ~name:"fence"
+      [ ("node", Trace.Str t.self); ("epoch", Trace.Int epoch) ];
+    fire_demote t;
+    t.handlers.on_fence ~epoch
+  end
+
+(* Track the latest uncommitted Reconfig in the suffix: it defines the
+   joint quorum until it commits (or is superseded by a log merge). *)
+let refresh_pending_config (t : t) =
+  let rec scan idx best =
+    if idx > t.last_index then best
+    else
+      let best =
+        match Hashtbl.find_opt t.log idx with
+        | Some (_, v) -> (
+          match decode_config v with
+          | Some (e, m) when e > t.epoch -> Some m
+          | _ -> best)
+        | None -> best
+      in
+      scan (idx + 1) best
+  in
+  t.pending_members <- scan (t.committed + 1) None
+
+(* Activation: a committed Reconfig takes effect the moment it is
+   applied.  From here on quorums, broadcasts and the failure detector
+   use the new membership, and this replica stamps the new epoch on
+   every message — which is what fences the departed. *)
+let activate_config (t : t) ~epoch ~members =
+  if epoch > t.epoch then begin
+    let old = t.members in
+    t.epoch <- epoch;
+    t.members <- members;
+    t.reconfigs <- t.reconfigs + 1;
+    List.iter
+      (fun n ->
+        if not (List.mem n old) then begin
+          Hashtbl.replace t.peer_heard n (Engine.now t.eng);
+          member_event t ~name:"join"
+            [ ("node", Trace.Str n); ("epoch", Trace.Int epoch) ]
+        end)
+      members;
+    List.iter
+      (fun n ->
+        if not (List.mem n members) then begin
+          Hashtbl.remove t.peer_heard n;
+          Hashtbl.remove t.peer_applied n;
+          member_event t ~name:"leave"
+            [ ("node", Trace.Str n); ("epoch", Trace.Int epoch) ]
+        end)
+      old;
+    refresh_pending_config t;
+    t.handlers.on_config ~epoch members;
+    (* Self-removal: fence immediately only when this is the newest
+       configuration we could possibly know of — nothing pending in the
+       suffix and nothing committed-but-unapplied.  A replica replaying
+       history (a joiner catching up through the config that predates its
+       own admission) must keep going: a later entry re-admits it.  If a
+       re-admission never comes, the members' inbound gate tells it
+       authoritatively via [Fenced]. *)
+    if
+      (not (List.mem t.self members))
+      && t.pending_members = None
+      && t.applied >= t.committed
+    then fence_self t ~epoch
+  end
+  else refresh_pending_config t
+
+(* Failure detector output (meaningful on the primary, which hears every
+   live member's heartbeat acks): members silent past suspect_timeout. *)
+let suspects (t : t) =
+  if not (is_primary t) then []
+  else
+    let now = Engine.now t.eng in
+    List.filter
+      (fun n ->
+        n <> t.self
+        && match Hashtbl.find_opt t.peer_heard n with
+           | Some heard -> now - heard > t.cfg.suspect_timeout
+           | None -> true)
+      t.members
 
 let persist t record k = Wal.append_async t.wal (Marshal.to_string (record : wal_record) []) k
-
-let trace t = Engine.trace t.eng
 
 (* Deliver committed values to the application, in order. *)
 let rec apply (t : t) =
@@ -233,7 +455,11 @@ let rec apply (t : t) =
         Trace.async_end tr ~ts ~tid ~id:t.applied ~node:t.self ~cat:"paxos"
           ~name:"decide" []
       end;
-      t.handlers.on_commit ~index:t.applied value;
+      (* Config entries are consumed by consensus itself: they activate
+         the new membership instead of reaching the application. *)
+      (match decode_config value with
+      | Some (epoch, members) -> activate_config t ~epoch ~members
+      | None -> t.handlers.on_commit ~index:t.applied value);
       apply t
   end
 
@@ -277,12 +503,21 @@ let store_entry t ~index ~eview ~value =
      the log never holds them again (a stale retransmission must not
      resurrect a dropped prefix). *)
   if index > t.base then begin
+    let touches_config =
+      is_config_value value
+      || match Hashtbl.find_opt t.log index with
+         | Some (_, old) -> is_config_value old
+         | None -> false
+    in
     (match Hashtbl.find_opt t.log index with
     | Some (v, _) when v > eview -> ()
     | Some _ | None -> Hashtbl.replace t.log index (eview, value));
     let n = Hashtbl.length t.log in
     if n > t.peak_log then t.peak_log <- n;
-    if index > t.last_index then t.last_index <- index
+    if index > t.last_index then t.last_index <- index;
+    (* A Reconfig landing in (or leaving) the uncommitted suffix changes
+       the joint-quorum requirement immediately, on backups too. *)
+    if touches_config then refresh_pending_config t
   end
 
 (* ------------------------------------------------------------------ *)
@@ -302,7 +537,7 @@ let advance_commits t =
   while !continue_ do
     let next = t.committed + 1 in
     match Hashtbl.find_opt t.acks next with
-    | Some l when List.length l >= majority t ->
+    | Some l when quorum_reached t l ->
       (let tr = trace t in
        if Trace.enabled tr then
          Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
@@ -347,7 +582,11 @@ let compact_to (t : t) wm =
            ~node:t.self ~cat:"paxos" ~name:"compact"
            [ ("watermark", Trace.Int wm); ("snapshot", Trace.Int s_index) ]);
       let header =
-        Marshal.to_string (Wal_trunc { watermark = wm; s_index; blob } : wal_record) []
+        Marshal.to_string
+          (Wal_trunc
+             { watermark = wm; s_index; blob; t_epoch = t.epoch; t_members = t.members }
+            : wal_record)
+          []
       in
       Wal.truncate_to t.wal ~header ~drop:(wal_drop_record wm) (fun () -> ());
       t.hooks.on_compact ~watermark:wm
@@ -396,8 +635,8 @@ let offer_snapshot (t : t) ~index ~blob =
       (fun n ->
         Fabric.send t.fabric ~bytes:(String.length blob) ~src:(ep t.self)
           ~dst:(ep n)
-          (Snapshot_push { s_index = index; blob }))
-      (others t);
+          (Epoched { e = t.epoch; inner = Snapshot_push { s_index = index; blob } }))
+      (recipients t);
     maybe_compact t
 
 (* Proposer-side durability marker: the (group) fsync covering [lo..hi]
@@ -489,6 +728,27 @@ let submit_batch_ix t values =
 
 let submit_batch t values = submit_batch_ix t values <> None
 
+(* Propose a membership change.  One reconfiguration in flight at a
+   time: the next one must wait for activation, otherwise two pending
+   configs would make the joint-quorum rule ambiguous. *)
+let submit_reconfig (t : t) members' =
+  if (not (is_primary t)) || t.pending_members <> None then None
+  else if List.sort compare members' = List.sort compare t.members then None
+  else begin
+    let epoch = t.epoch + 1 in
+    member_event t ~name:"reconfig_propose"
+      [ ("epoch", Trace.Int epoch);
+        ("members", Trace.Str (String.concat "," members')) ];
+    (* Set the joint quorum before casting so the very Accept carrying
+       the config entry already needs both majorities to commit. *)
+    t.pending_members <- Some members';
+    match submit_ix t (encode_config ~epoch ~members:members') with
+    | Some i -> Some i
+    | None ->
+      t.pending_members <- None;
+      None
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Leader election: the three steps of §5.1. *)
 
@@ -532,6 +792,7 @@ let become_backup t ~nview ~primary =
   t.primary <- primary;
   t.election <- None;
   t.last_heartbeat <- Engine.now t.eng;
+  t.vc_defers <- 0;
   if was_primary && not (is_primary t) then fire_demote t
 
 (* A primary that cannot hear any peer (no acks, no heartbeat acks) for
@@ -614,7 +875,7 @@ let become_primary (t : t) election =
   heartbeat_loop t
 
 let rec start_election t =
-  if not (is_primary t) then begin
+  if (not (is_primary t)) && not t.fenced then begin
     let nview = t.max_view_seen + 1 in
     t.max_view_seen <- nview;
     let election =
@@ -644,13 +905,13 @@ let rec start_election t =
   end
 
 and check_election_progress t e =
-  if e.phase = `Collect && List.length e.oks >= majority t then begin
+  if e.phase = `Collect && quorum_reached t e.oks then begin
     e.phase <- `Candidate;
     (* Step 2: propose ourselves as primary candidate. *)
     cast t (Candidate { nview = e.eview });
     check_election_progress t e
   end
-  else if e.phase = `Candidate && List.length e.cand_oks >= majority t then
+  else if e.phase = `Candidate && quorum_reached t e.cand_oks then
     become_primary t e
 
 (* Election timer: backups that miss heartbeats for election_timeout
@@ -659,7 +920,7 @@ let rec election_monitor t =
   let jitter = Rng.int t.rng (max 1 t.cfg.election_jitter) in
   let period = Time.ms 200 + jitter in
   Engine.after t.eng ~group:t.group period (fun () ->
-      (if (not (is_primary t)) && t.election = None then
+      (if (not (is_primary t)) && t.election = None && not t.fenced then
          let silence = Engine.now t.eng - t.last_heartbeat in
          if silence >= t.cfg.election_timeout then start_election t);
       election_monitor t)
@@ -700,12 +961,23 @@ let send_catchup (t : t) ~dst ~from_index =
          [ ("index", Trace.Int s_index); ("to", Trace.Str dst) ]);
     Fabric.send t.fabric ~bytes:(String.length blob) ~src:(ep t.self)
       ~dst:(ep dst)
-      (Snapshot_resp { s_index; blob; s_committed = t.committed })
+      (Epoched
+         { e = t.epoch;
+           inner =
+             Snapshot_resp
+               { s_index;
+                 blob;
+                 s_committed = t.committed;
+                 s_epoch = t.epoch;
+                 s_members = t.members
+               }
+         })
   | Some _ | None -> serve_entries t ~dst ~from_index
 
 let handle (t : t) ~src msg =
   let from = src.Fabric.node in
   t.last_peer_contact <- Engine.now t.eng;
+  Hashtbl.replace t.peer_heard from (Engine.now t.eng);
   match msg with
   | Accept { aview; index; value; committed } ->
     if aview = t.view && Some from = t.primary then begin
@@ -783,6 +1055,7 @@ let handle (t : t) ~src msg =
     end
     else if hview = t.view then begin
       t.last_heartbeat <- Engine.now t.eng;
+      t.vc_defers <- 0;
       (* Ack so the primary knows it still has quorum contact; the
          applied index feeds its compaction watermark. *)
       tell t from (Heartbeat_ok { hview; h_applied = t.applied });
@@ -808,11 +1081,17 @@ let handle (t : t) ~src msg =
   | View_change { nview; cand_committed } ->
     if nview > t.max_view_seen then begin
       t.max_view_seen <- nview;
-      (* Back off our own competing election, defer to the caller. *)
+      (* Back off our own competing election and defer to the caller —
+         but only a few times in a row: past the bound the proposer is
+         presumed unreachable (it would have won by now) and our own
+         election timer keeps running. *)
       (match t.election with
       | Some e when e.eview < nview -> t.election <- None
       | Some _ | None -> ());
-      t.last_heartbeat <- Engine.now t.eng;
+      if t.vc_defers < 3 then begin
+        t.vc_defers <- t.vc_defers + 1;
+        t.last_heartbeat <- Engine.now t.eng
+      end;
       tell t from
         (View_change_ok
            { nview;
@@ -883,11 +1162,15 @@ let handle (t : t) ~src msg =
     (* A primary learning of a fresh checkpoint may now be able to
        advance the watermark. *)
     maybe_compact t
-  | Snapshot_resp { s_index; blob; s_committed } ->
+  | Snapshot_resp { s_index; blob; s_committed; s_epoch; s_members } ->
     if s_index > t.applied then begin
       (match t.snapshot with
       | Some (i, _) when i >= s_index -> ()
       | Some _ | None -> t.snapshot <- Some (s_index, blob));
+      (* A joiner bootstrapping from a snapshot may never replay the
+         Reconfig entries folded into the image: adopt the serving
+         replica's configuration directly. *)
+      if s_epoch > t.epoch then activate_config t ~epoch:s_epoch ~members:s_members;
       t.snapshots_installed <- t.snapshots_installed + 1;
       (let tr = trace t in
        if Trace.enabled tr then
@@ -916,6 +1199,36 @@ let handle (t : t) ~src msg =
     if Some from = t.primary then compact_to t cwatermark
   | _ -> ()
 
+(* Inbound epoch gate.  A fenced replica processes nothing.  A message
+   stamped with our epoch or older by a non-member is the signature of a
+   replica that was reconfigured out: drop it (with a reason on the
+   receiver's timeline) and tell the sender authoritatively, so it
+   fences itself instead of mounting doomed elections forever.  Strictly
+   newer epochs are always let through — the sender knows a configuration
+   we have yet to learn, and the log (or a snapshot) will teach us. *)
+let receive (t : t) ~src msg =
+  match msg with
+  | _ when t.fenced -> ()
+  | Epoched { e; inner } ->
+    let from = src.Fabric.node in
+    if e <= t.epoch && not (is_member t from) then begin
+      t.fenced_drops <- t.fenced_drops + 1;
+      Fabric.reject t.fabric ~src ~dst:(ep t.self) ~reason:"fenced_epoch";
+      Fabric.send t.fabric ~src:(ep t.self) ~dst:src (Fenced { f_epoch = t.epoch })
+    end
+    else handle t ~src inner
+  | Fenced { f_epoch } ->
+    (* A strictly newer epoch is authoritative.  At our own epoch the
+       sender and we share one configuration, so verify against it: only
+       fence if that configuration really excludes us (guards a fresh
+       joiner against a stale replica's mistaken verdict). *)
+    if f_epoch > t.epoch || (f_epoch = t.epoch && not (is_member t t.self)) then
+      fence_self t ~epoch:(max f_epoch t.epoch)
+  | msg ->
+    (* Unstamped traffic (older peers, tests poking the port): treat as
+       current-epoch. *)
+    handle t ~src msg
+
 (* ------------------------------------------------------------------ *)
 
 let recover_from_wal (t : t) =
@@ -928,7 +1241,7 @@ let recover_from_wal (t : t) =
       match (Marshal.from_string e.Wal.data 0 : wal_record) with
       | Wal_accept (v, idx, value) -> store_entry t ~index:idx ~eview:v ~value
       | Wal_commit idx -> if idx > t.committed then t.committed <- idx
-      | Wal_trunc { watermark; s_index; blob } ->
+      | Wal_trunc { watermark; s_index; blob; t_epoch; t_members } ->
         (* A crash between the header write and the physical prefix drop
            leaves both on disk: records already absorbed below the
            watermark are void (the snapshot covers them), so processing
@@ -939,6 +1252,10 @@ let recover_from_wal (t : t) =
         if watermark > t.base then t.base <- watermark;
         if watermark > t.committed then t.committed <- watermark;
         if watermark > t.last_index then t.last_index <- watermark;
+        if t_epoch > t.epoch then begin
+          t.epoch <- t_epoch;
+          t.members <- t_members
+        end;
         (match t.snapshot with
         | Some (i, _) when i >= s_index -> ()
         | Some _ | None -> t.snapshot <- Some (s_index, blob))
@@ -955,7 +1272,25 @@ let recover_from_wal (t : t) =
   in
   t.committed <- min t.committed (contiguous t.base);
   (* The server restarts from a checkpoint and replays explicitly
-     (get_committed_range), so recovered history is not re-applied. *)
+     (get_committed_range), so recovered history is not re-applied —
+     except for Reconfig entries, whose effect (the membership) lives in
+     consensus state, not application state: re-activate the newest
+     committed one, and re-learn any still-pending one. *)
+  let rec rescan idx =
+    if idx <= t.committed then begin
+      (match Hashtbl.find_opt t.log idx with
+      | Some (_, v) -> (
+        match decode_config v with
+        | Some (e, m) when e > t.epoch ->
+          t.epoch <- e;
+          t.members <- m
+        | _ -> ())
+      | None -> ());
+      rescan (idx + 1)
+    end
+  in
+  rescan (t.base + 1);
+  refresh_pending_config t;
   t.applied <- t.committed
 
 let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group () =
@@ -967,6 +1302,9 @@ let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group ()
       rng;
       wal;
       members;
+      epoch = 0;
+      pending_members = None;
+      fenced = false;
       self = node;
       group;
       view = 0;
@@ -982,9 +1320,11 @@ let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group ()
       base = 0;
       snapshot = None;
       peer_applied = Hashtbl.create 8;
+      peer_heard = Hashtbl.create 8;
       last_heartbeat = Time.zero;
       last_peer_contact = Time.zero;
       election = None;
+      vc_defers = 0;
       started = false;
       decisions = 0;
       view_changes = 0;
@@ -997,6 +1337,8 @@ let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group ()
       snapshots_served = 0;
       snapshots_installed = 0;
       peak_log = 0;
+      reconfigs = 0;
+      fenced_drops = 0;
       open_batches = Queue.create ();
       batches_committed = 0;
       batch_sizes = Hashtbl.create 16;
@@ -1004,7 +1346,7 @@ let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group ()
   in
   recover_from_wal t;
   Fabric.bind fabric (ep node) (fun ~src msg ->
-      if Engine.group_alive t.eng group then handle t ~src msg);
+      if Engine.group_alive t.eng group then receive t ~src msg);
   Engine.on_kill t.eng group (fun () -> Fabric.unbind fabric (ep node));
   t
 
@@ -1013,6 +1355,9 @@ let start t ?(as_primary = false) () =
     t.started <- true;
     t.last_heartbeat <- Engine.now t.eng;
     t.last_peer_contact <- Engine.now t.eng;
+    (* Failure-detector grace: every member gets credit for "heard now"
+       at start so a cold cluster doesn't suspect everyone at once. *)
+    List.iter (fun n -> Hashtbl.replace t.peer_heard n (Engine.now t.eng)) t.members;
     let initial_primary =
       match t.members with first :: _ -> first | [] -> t.self
     in

@@ -33,6 +33,10 @@ type config = {
           Default 1024 *)
   catchup_chunk : int;
       (** max committed entries per catch-up response page, default 256 *)
+  suspect_timeout : Crane_sim.Time.t;
+      (** failure detector: a member silent for this long is reported by
+          {!suspects} (primary-side input to automated replacement).
+          Default 5 s *)
 }
 
 val default_config : config
@@ -103,10 +107,64 @@ type handlers = {
           deposed by a higher view, or abdicating after losing quorum
           contact.  The proxy uses it to shed clients so they retry
           against the new primary. *)
+  on_config : epoch:int -> Crane_net.Fabric.node list -> unit;
+      (** A new configuration activated on this replica: [epoch] and the
+          full member list now in force.  Fires on every replica that
+          applies (or snapshot-adopts) the Reconfig. *)
+  on_fence : epoch:int -> unit;
+      (** This replica was removed by configuration [epoch] (learned
+          either by applying the Reconfig or from an authoritative
+          rejection by a member): it has shed any primaryship and will
+          neither vote nor serve again.  The hosting layer should retire
+          the instance. *)
 }
 
 val set_handlers : t -> handlers -> unit
-(** Install both callbacks (one registration per component). *)
+(** Install all callbacks (one registration per component). *)
+
+(** {2 Live membership reconfiguration}
+
+    Membership is a replicated value: a Reconfig is an ordinary log entry
+    (a tagged [(epoch, members)] payload) that flows through the same
+    Accept/ack/commit machinery as client commands.  From the moment the
+    entry enters a replica's log until it activates, every quorum check
+    (commits {e and} elections) requires a majority of both the old and
+    the new configuration — joint consensus, so no two configurations can
+    decide independently during the handover.  Activation happens when
+    the entry is applied; from then on each replica stamps the new epoch
+    on every message, and members drop (with an authoritative [Fenced]
+    reply) stale-epoch traffic from nodes outside the configuration, so
+    departed replicas can neither vote nor serve. *)
+
+val submit_reconfig : t -> Crane_net.Fabric.node list -> int option
+(** Propose replacing the membership with the given list (epoch + 1).
+    Returns the log index of the Reconfig entry, or [None] if this node
+    is not primary, another reconfiguration is still pending, or the list
+    equals the current membership. *)
+
+val members : t -> Crane_net.Fabric.node list
+(** The membership of the current configuration epoch. *)
+
+val epoch : t -> int
+(** Current configuration epoch (0 = the boot-time configuration). *)
+
+val fenced : t -> bool
+(** True once this replica learned it was reconfigured out. *)
+
+val reconfig_pending : t -> bool
+(** True while a Reconfig entry sits in the log uncommitted (the joint
+    quorum window). *)
+
+val suspects : t -> Crane_net.Fabric.node list
+(** Failure detector output: members not heard from for
+    [suspect_timeout].  Meaningful on the primary (which hears every live
+    member's heartbeat acks); always [] on backups and fenced nodes. *)
+
+val is_config_value : string -> bool
+(** True for Reconfig payloads.  Replay paths that feed
+    {!get_committed_range} into the application must skip these — live
+    delivery already does (a Reconfig activates instead of reaching
+    [on_commit]). *)
 
 val committed : t -> int
 (** Highest committed index (0 = nothing yet). *)
@@ -202,6 +260,10 @@ type stats = {
       (** high-water mark of resident log entries — the boundedness
           metric BENCH_recovery.json plots against history length *)
   acks_resident : int;  (** entries currently resident in the ack table *)
+  epoch : int;  (** configuration epoch in force on this node *)
+  reconfigs : int;  (** configuration activations on this node *)
+  fenced_drops : int;
+      (** stale-epoch messages from non-members this node rejected *)
 }
 
 val stats : t -> stats

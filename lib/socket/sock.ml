@@ -267,6 +267,24 @@ let local_node (c : conn) = c.local
 let peer_node (c : conn) = c.remote
 let is_open (c : conn) = not (c.closed || c.eof)
 
+(* A node (re)joining the world — a reboot or a reconfiguration booting a
+   fresh replacement: make sure its transport is bound and clear any
+   connection state a previous incarnation of the same name left behind,
+   so the new instance starts from a clean table instead of inheriting
+   half-open streams. *)
+let node_booted w node =
+  let stale =
+    Hashtbl.fold
+      (fun (n, cid) c acc -> if n = node then ((n, cid), c) :: acc else acc)
+      w.conns []
+  in
+  List.iter
+    (fun (key, c) ->
+      mark_eof c;
+      Hashtbl.remove w.conns key)
+    stale;
+  ensure_bound w node
+
 let node_crashed w node =
   (* Listeners on the node evaporate. *)
   let doomed =

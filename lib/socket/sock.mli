@@ -63,3 +63,9 @@ val node_crashed : world -> Crane_net.Fabric.node -> unit
 (** Model a machine crash: peers of every connection touching the node
     observe EOF; its listeners evaporate; in-flight connects are refused.
     Wire this to [Engine.on_kill] of the replica's group. *)
+
+val node_booted : world -> Crane_net.Fabric.node -> unit
+(** A node (re)joined the world — a reboot, or a live reconfiguration
+    booting a fresh replacement: bind its transport and discard any
+    connection state a previous incarnation of the same name left
+    behind. *)

@@ -120,6 +120,12 @@ let async_end t ~ts ~tid ~id ?group ?node ~cat ~name args =
 let counter t ~ts ~tid ?group ?node ~name value =
   emit t (mk ~ts ~tid ?group ?node ~cat:"counter" ~name ~ph:(Counter value) [])
 
+(* Membership lifecycle: join / leave / fence / reconfig_propose instants
+   under one category, so a timeline shows each replica's configuration
+   history as a single track. *)
+let member t ~ts ~tid ?group ?node ~name args =
+  emit t (mk ~ts ~tid ?group ?node ~cat:"member" ~name ~ph:Instant args)
+
 (* ------------------------------------------------------------------ *)
 (* Exporters.  All output is produced with integer arithmetic and
    insertion-ordered iteration so that equal event sequences render to

@@ -81,6 +81,13 @@ val counter :
   int -> unit
 (** Record a sampled gauge value (chrome "C" phase). *)
 
+val member :
+  t -> ts:int -> tid:int -> ?group:int -> ?node:string -> name:string ->
+  (string * arg) list -> unit
+(** Membership lifecycle instant ([join] / [leave] / [fence] /
+    [reconfig_propose]) under the "member" category: one configuration
+    history track per replica. *)
+
 val events : t -> ev list
 (** Retained events, oldest first. *)
 

@@ -4,16 +4,25 @@
 
     A request that fails transiently (connection refused everywhere, or
     EOF mid-request when the primary dies under it) is retried up to
-    [retries] times with a bounded, deterministic linear backoff before it
+    [retries] times with a bounded, deterministic backoff before it
     counts as a hard error — so chaos runs measure the system's
     availability, not the clients' fragility.  Retries are counted
-    separately from errors. *)
+    separately from errors.
+
+    The backoff is linear with seeded per-(client, attempt) jitter: with
+    a fixed step every concurrent client would retry in lockstep and
+    re-stampede a recovering primary at the exact same instants.  The
+    jitter is a pure hash of (seed, client name, attempt) — no RNG state
+    — so fixed-seed runs stay byte-identical. *)
 
 module Time = Crane_sim.Time
 module Engine = Crane_sim.Engine
 
 type result = {
   latencies : Time.t list;  (** successful requests, completion order *)
+  completions : Time.t list;
+      (** absolute completion instants of successful requests, completion
+          order (gap analysis: client-visible unavailability windows) *)
   errors : int;  (** requests that failed even after retries *)
   retries : int;  (** transient failures that were retried *)
   wall : Time.t;  (** total virtual duration of the run *)
@@ -21,10 +30,16 @@ type result = {
 
 type handle = { collect : unit -> result; finished : unit -> bool }
 
+let backoff_jitter ~seed ~from ~tries step =
+  if step <= 0 then 0
+  else Hashtbl.hash (seed, from, tries) mod (max 1 (step / 2))
+
 let run ?(name = "load") ?(think = Time.zero) ?(retries = 0)
-    ?(retry_backoff = Time.ms 50) ~clients ~requests ~request target =
+    ?(retry_backoff = Time.ms 50) ?(seed = 0) ~clients ~requests ~request
+    target =
   let remaining = ref requests in
   let latencies = ref [] in
+  let completions = ref [] in
   let errors = ref 0 in
   let retried = ref 0 in
   let active = ref clients in
@@ -37,11 +52,14 @@ let run ?(name = "load") ?(think = Time.zero) ?(retries = 0)
         let rec attempt ~start tries =
           match request target ~from with
           | Some (_ : string) ->
-            latencies := (Engine.now eng - start) :: !latencies
+            let now = Engine.now eng in
+            latencies := (now - start) :: !latencies;
+            completions := now :: !completions
           | None ->
             if tries < retries then begin
               incr retried;
-              Engine.sleep eng (retry_backoff * (tries + 1));
+              let jitter = backoff_jitter ~seed ~from ~tries retry_backoff in
+              Engine.sleep eng ((retry_backoff * (tries + 1)) + jitter);
               attempt ~start (tries + 1)
             end
             else incr errors
@@ -63,6 +81,7 @@ let run ?(name = "load") ?(think = Time.zero) ?(retries = 0)
       (fun () ->
         {
           latencies = List.rev !latencies;
+          completions = List.rev !completions;
           errors = !errors;
           retries = !retried;
           wall = (match !finished with Some w -> w | None -> Engine.now eng - t0);

@@ -12,7 +12,9 @@ type t = {
   world : Sock.world;
   port : int;
   pick_node : unit -> string;
-  fallbacks : string list;
+  fallbacks : unit -> string list;
+      (** re-evaluated per attempt: live reconfiguration can change the
+          member set while a client is mid-retry *)
 }
 
 let standalone sa ~port =
@@ -21,7 +23,7 @@ let standalone sa ~port =
     world = Standalone.world sa;
     port;
     pick_node = (fun () -> "server");
-    fallbacks = [ "server" ];
+    fallbacks = (fun () -> [ "server" ]);
   }
 
 let cluster c ~port =
@@ -34,18 +36,22 @@ let cluster c ~port =
         match Cluster.primary_node c with
         | Some n -> n
         | None -> ( match Cluster.members c with n :: _ -> n | [] -> "replica1"));
-    fallbacks = Cluster.members c;
+    fallbacks = (fun () -> Cluster.members c);
   }
 
 (** Connect to the service, retrying across nodes on refusal (a client
-    finding the new primary after a failover).  None after [attempts]. *)
+    finding the new primary after a failover — or, after a membership
+    change, a freshly joined replacement).  None after [attempts]. *)
 let connect ?(attempts = 30) t ~from =
   let rec go n =
     if n >= attempts then None
     else
       let node =
         if n = 0 then t.pick_node ()
-        else List.nth t.fallbacks (n mod List.length t.fallbacks)
+        else
+          match t.fallbacks () with
+          | [] -> t.pick_node ()
+          | fb -> List.nth fb (n mod List.length fb)
       in
       match Sock.connect t.world ~from ~node ~port:t.port with
       | conn -> Some conn

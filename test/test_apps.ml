@@ -22,6 +22,7 @@ let fast_paxos =
     round_retry = Time.ms 100;
     compaction_threshold = Crane_paxos.Paxos.default_config.compaction_threshold;
     catchup_chunk = Crane_paxos.Paxos.default_config.catchup_chunk;
+    suspect_timeout = Crane_paxos.Paxos.default_config.suspect_timeout;
   }
 
 let cluster_cfg ?(port = 80) mode =

@@ -116,7 +116,9 @@ let test_demotion_mid_batch () =
   let demoted = ref false in
   Paxos.set_handlers p1
     { Paxos.on_commit = (fun ~index:_ v -> log1 := v :: !log1);
-      on_demote = (fun () -> demoted := true) };
+      on_demote = (fun () -> demoted := true);
+      on_config = (fun ~epoch:_ _ -> ());
+      on_fence = (fun ~epoch:_ -> ()) };
   Engine.at sim.Test_paxos.eng (Time.ms 50) (fun () ->
       Fabric.partition sim.Test_paxos.fabric [ "n1" ] [ "n2"; "n3" ]);
   Engine.spawn sim.Test_paxos.eng ~name:"client" (fun () ->

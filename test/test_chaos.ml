@@ -125,7 +125,7 @@ let test_loadgen_retries () =
   let fabric = Crane_net.Fabric.create eng (Crane_sim.Rng.create 3) in
   let target =
     { Target.eng; world = Crane_socket.Sock.world fabric; port = 0;
-      pick_node = (fun () -> "x"); fallbacks = [ "x" ] }
+      pick_node = (fun () -> "x"); fallbacks = (fun () -> [ "x" ]) }
   in
   (* fails twice, then succeeds — per request *)
   let tries = Hashtbl.create 8 in

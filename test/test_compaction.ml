@@ -109,6 +109,7 @@ let compact_config ~threshold =
     round_retry = Time.ms 50;
     compaction_threshold = threshold;
     catchup_chunk = 16;
+    suspect_timeout = Paxos.default_config.suspect_timeout;
   }
 
 let fold_state state v = Digest.to_hex (Digest.string (state ^ v))
@@ -130,7 +131,9 @@ let add_node sim ~config name =
   let state = ref "" in
   Paxos.set_handlers p
     { Paxos.on_commit = (fun ~index:_ v -> state := fold_state !state v);
-      on_demote = (fun () -> ()) };
+      on_demote = (fun () -> ());
+      on_config = (fun ~epoch:_ _ -> ());
+      on_fence = (fun ~epoch:_ -> ()) };
   Paxos.set_compaction_hooks p
     { Paxos.install_snapshot =
         (fun ~index:_ blob -> state := (Marshal.from_string blob 0 : string));

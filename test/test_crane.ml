@@ -62,6 +62,7 @@ let fast_paxos =
     round_retry = Time.ms 100;
     compaction_threshold = Crane_paxos.Paxos.default_config.compaction_threshold;
     catchup_chunk = Crane_paxos.Paxos.default_config.catchup_chunk;
+    suspect_timeout = Crane_paxos.Paxos.default_config.suspect_timeout;
   }
 
 let test_cfg mode =

@@ -24,6 +24,7 @@ let fast_config =
     round_retry = Time.ms 100;
     compaction_threshold = Crane_paxos.Paxos.default_config.compaction_threshold;
     catchup_chunk = Crane_paxos.Paxos.default_config.catchup_chunk;
+    suspect_timeout = Paxos.default_config.suspect_timeout;
   }
 
 let members = [ "n1"; "n2"; "n3" ]
@@ -50,7 +51,9 @@ let add_node ?(config = fast_config) sim name =
   let log = ref [] in
   Paxos.set_handlers p
     { Paxos.on_commit = (fun ~index:_ v -> log := v :: !log);
-      on_demote = (fun () -> ()) };
+      on_demote = (fun () -> ());
+      on_config = (fun ~epoch:_ _ -> ());
+      on_fence = (fun ~epoch:_ -> ()) };
   Paxos.start p ();
   Fabric.node_up sim.fabric name;
   sim.nodes <- sim.nodes @ [ (name, p, group, log) ];
@@ -199,6 +202,67 @@ let test_wal_recovery () =
     (List.init 8 (fun i -> Printf.sprintf "v%d" (i + 1)))
     (Paxos.get_committed_range p2' ~lo:1 ~hi:8)
 
+(* The asymmetric-partition escape hatch: block traffic *into* the
+   primary only.  Backups still hear its heartbeats, so they never start
+   an election — the primary must notice it hears nobody for
+   election_timeout and abdicate, which stops the heartbeats and lets the
+   backups elect among themselves.  After the partition heals, the old
+   primary adopts the new view and catches up as a backup. *)
+let test_primary_abdicates_when_isolated () =
+  let sim, nodes = start_cluster () in
+  let p1, _, _ = List.hd nodes in
+  Engine.spawn sim.eng ~name:"client" (fun () ->
+      Engine.sleep sim.eng (Time.ms 10);
+      for i = 1 to 5 do
+        ignore (Paxos.submit p1 (Printf.sprintf "a%d" i));
+        Engine.sleep sim.eng (Time.ms 2)
+      done);
+  Engine.at sim.eng (Time.ms 200) (fun () ->
+      Fabric.partition_oneway sim.fabric ~from:[ "n2"; "n3" ] ~to_:[ "n1" ]);
+  (* Mid-partition: n1 must have stepped down and a backup must lead.
+     (After the heal n1 may legitimately win leadership back, so this is
+     the only instant where "who leads" is pinned down.) *)
+  Engine.at sim.eng (Time.ms 1500) (fun () ->
+      Alcotest.(check bool) "isolated primary stepped down" false (Paxos.is_primary p1);
+      Alcotest.(check int) "stepped down via abdication" 1
+        (Paxos.stats p1).Paxos.abdications;
+      match find_primary sim with
+      | Some (name, p, _, _) ->
+        Alcotest.(check bool) "a backup took over" true (name <> "n1");
+        Alcotest.(check bool) "view advanced past the abdication" true
+          (Paxos.view p > 0)
+      | None -> Alcotest.fail "no backup elected during the partition");
+  Engine.at sim.eng (Time.sec 2) (fun () -> Fabric.heal sim.fabric);
+  Engine.at sim.eng (Time.ms 2800) (fun () ->
+      match find_primary sim with
+      | Some (_, p, _, _) ->
+        for i = 1 to 5 do
+          ignore (Paxos.submit p (Printf.sprintf "b%d" i))
+        done
+      | None -> Alcotest.fail "no primary after heal");
+  Engine.run ~until:(Time.sec 5) sim.eng;
+  Alcotest.(check int) "abdicated exactly once overall" 1
+    (Paxos.stats p1).Paxos.abdications;
+  (match find_primary sim with
+  | Some (name, p, _, _) ->
+    (* Everyone, n1 included, agrees on the healed cluster's leader. *)
+    List.iter
+      (fun (n, q, _, _) ->
+        Alcotest.(check (option string)) (n ^ " follows the leader") (Some name)
+          (if n = name then Some name else Paxos.primary q))
+      sim.nodes;
+    Alcotest.(check bool) "final view nonzero" true (Paxos.view p > 0)
+  | None -> Alcotest.fail "cluster has no primary");
+  let expected =
+    List.init 5 (fun i -> Printf.sprintf "a%d" (i + 1))
+    @ List.init 5 (fun i -> Printf.sprintf "b%d" (i + 1))
+  in
+  List.iter
+    (fun (name, _, _, log) ->
+      Alcotest.(check (list string)) (name ^ " converged after heal") expected
+        (applied_log log))
+    sim.nodes
+
 let test_no_progress_without_quorum () =
   let sim, nodes = start_cluster () in
   let p1, _, _ = List.hd nodes in
@@ -264,6 +328,8 @@ let suite =
         Alcotest.test_case "pipelined burst" `Quick test_pipelined_submissions;
         Alcotest.test_case "leader election" `Quick test_leader_election_on_primary_failure;
         Alcotest.test_case "rejoin catches up" `Quick test_rejoin_catches_up;
+        Alcotest.test_case "isolated primary abdicates" `Quick
+          test_primary_abdicates_when_isolated;
         Alcotest.test_case "wal recovery" `Quick test_wal_recovery;
         Alcotest.test_case "no quorum, no progress" `Quick test_no_progress_without_quorum;
         qcheck prop_safety_under_nemesis;
