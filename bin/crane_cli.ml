@@ -494,7 +494,8 @@ let recovery_run ~threshold ~history ~seed =
     { Paxos.heartbeat_period = Time.ms 50; election_timeout = Time.ms 200;
       election_jitter = Time.ms 30; round_retry = Time.ms 50;
       compaction_threshold = threshold; catchup_chunk = 256 ;
-    suspect_timeout = Paxos.default_config.suspect_timeout;}
+    suspect_timeout = Paxos.default_config.suspect_timeout;
+      lease_duration = Time.ms 100 }
   in
   let boot name =
     let wal =
@@ -845,6 +846,179 @@ let bench_reconfig_cmd quick seed out check =
          (bound %s) identical=%b\n"
         r.cr_errors r.cr_epoch r.cr_healed r.cr_spans_fault
         (Time.to_string r.cr_unavail) (Time.to_string bound) identical;
+      1
+    end
+  end
+
+(* ---- bench readmix: lease/backup read fast path vs all-consensus
+   reads on a read-heavy mix ---- *)
+
+module Proxy = Crane_core.Proxy
+
+type readmix_run = {
+  rm_reads : int;  (** successful read completions *)
+  rm_writes : int;  (** successful write completions *)
+  rm_errors : int;
+  rm_committed : int;  (** consensus log entries decided on the primary *)
+  rm_offload : float;
+      (** completions per consensus entry — the commit-path offload: reads
+          served from leases/watermarks don't spend a consensus round *)
+  rm_read_mean : float;  (** mean read latency, ns of virtual time *)
+  rm_write_mean : float;
+  rm_lease_reads : int;
+  rm_backup_reads : int;
+  rm_lease_rejects : int;
+  rm_wall : Time.t;
+}
+
+(* One measured configuration: a 3-replica Paxos_only ledger cluster
+   under a closed-loop 95/5 read/write mix.  [fastpath] selects the read
+   route — the proxy read port (lease reads on the primary, bounded-stale
+   on backups, consensus fallback on REJECT) or the all-consensus funnel
+   every request used before the split. *)
+let readmix_run ~seed ~requests ~read_pct ~fastpath =
+  let cfg =
+    { Instance.default_config with mode = Instance.Paxos_only;
+      paxos = fast_paxos; read_fastpath = fastpath }
+  in
+  let cluster = Cluster.create ~seed ~cfg ~server:Ledger.server () in
+  let eng = Cluster.engine cluster in
+  Cluster.start ~checkpoints:false cluster;
+  (* Let the election settle and the first lease establish, so the mix
+     measures the steady state rather than boot-time REJECT fallbacks. *)
+  Cluster.run ~until:(Time.ms 800) cluster;
+  let target = Target.cluster cluster ~port:80 in
+  (* Two read routes: bounded-stale traffic lands on the backups, and
+     every fourth read is a linearizable one served off the primary's
+     lease — so the bench exercises both halves of the fast path. *)
+  let rtarget_stale = Target.cluster_backups cluster ~port:cfg.Instance.read_port in
+  let rtarget_lease = Target.cluster cluster ~port:cfg.Instance.read_port in
+  let ledger = Ledger.client () in
+  let nread = ref 0 in
+  let read_request =
+    if fastpath then fun _ ~from ->
+      incr nread;
+      let rtarget = if !nread mod 4 = 0 then rtarget_lease else rtarget_stale in
+      Ledger.read_request ~rtarget ~target ~from
+    else fun t ~from -> Ledger.consensus_get t ~from
+  in
+  let handle =
+    Loadgen.run ~name:"readmix" ~seed ~think:(Time.ms 2) ~retries:8
+      ~retry_backoff:(Time.ms 50) ~read_pct ~read_request ~clients:8 ~requests
+      ~request:(Ledger.request ledger) target
+  in
+  Loadgen.drive ~timeout:(Time.sec 240) target handle;
+  let load = handle.Loadgen.collect () in
+  Cluster.run ~until:(Engine.now eng + Time.ms 300) cluster;
+  Cluster.check_failures cluster;
+  let committed =
+    match Cluster.primary cluster with
+    | Some (_, inst) -> Paxos.committed inst.Instance.paxos
+    | None -> 0
+  in
+  let sum f =
+    List.fold_left
+      (fun acc (_, inst) -> acc + f (Proxy.stats inst.Instance.proxy))
+      0 (Cluster.instances cluster)
+  in
+  let ok = List.length load.Loadgen.latencies in
+  {
+    rm_reads = List.length load.Loadgen.read_latencies;
+    rm_writes = List.length load.Loadgen.write_latencies;
+    rm_errors = load.Loadgen.errors;
+    rm_committed = committed;
+    rm_offload =
+      (if committed = 0 then 0.0 else float_of_int ok /. float_of_int committed);
+    rm_read_mean = Stats.mean load.Loadgen.read_latencies;
+    rm_write_mean = Stats.mean load.Loadgen.write_latencies;
+    rm_lease_reads = sum (fun s -> s.Proxy.lease_reads);
+    rm_backup_reads = sum (fun s -> s.Proxy.backup_reads);
+    rm_lease_rejects = sum (fun s -> s.Proxy.lease_rejects);
+    rm_wall = load.Loadgen.wall;
+  }
+
+let readmix_run_json r =
+  Printf.sprintf
+    "{ \"reads\": %d, \"writes\": %d, \"errors\": %d, \"committed\": %d, \
+     \"offload\": %.3f, \"read_mean_ns\": %.0f, \"write_mean_ns\": %.0f, \
+     \"lease_reads\": %d, \"backup_reads\": %d, \"lease_rejects\": %d, \
+     \"wall_ns\": %d }"
+    r.rm_reads r.rm_writes r.rm_errors r.rm_committed r.rm_offload
+    r.rm_read_mean r.rm_write_mean r.rm_lease_reads r.rm_backup_reads
+    r.rm_lease_rejects r.rm_wall
+
+let bench_readmix_cmd quick seed read_pct out check =
+  let requests = if quick then 1500 else 3000 in
+  Printf.printf "bench readmix: %d/%d read/write mix, fast path on..."
+    read_pct (100 - read_pct);
+  flush stdout;
+  let fast = readmix_run ~seed ~requests ~read_pct ~fastpath:true in
+  Printf.printf " off...";
+  flush stdout;
+  let base = readmix_run ~seed ~requests ~read_pct ~fastpath:false in
+  (* Same seed, fresh cluster: the measurement must be a pure function of
+     the seed for the gate (and CI diffs) to mean anything. *)
+  let fast2 = readmix_run ~seed ~requests ~read_pct ~fastpath:true in
+  Printf.printf " done\n";
+  let identical = readmix_run_json fast = readmix_run_json fast2 in
+  let ratio =
+    if base.rm_offload = 0.0 then 0.0 else fast.rm_offload /. base.rm_offload
+  in
+  let row name r =
+    [ name; string_of_int r.rm_reads; string_of_int r.rm_writes;
+      string_of_int r.rm_errors; string_of_int r.rm_committed;
+      Printf.sprintf "%.2f" r.rm_offload;
+      Time.to_string (int_of_float r.rm_read_mean);
+      Time.to_string (int_of_float r.rm_write_mean);
+      Printf.sprintf "%d/%d/%d" r.rm_lease_reads r.rm_backup_reads
+        r.rm_lease_rejects ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf "read-mix bench (%d%% reads, 8 clients, ledger)" read_pct)
+    ~header:
+      [ "reads"; "ok-r"; "ok-w"; "errors"; "committed"; "ok/entry";
+        "read mean"; "write mean"; "lease/backup/rej" ]
+    [ row "fast path" fast; row "all consensus" base ];
+  Printf.printf "commit-path offload: %.2fx (fast %.2f vs consensus %.2f \
+                 completions per entry)\n"
+    ratio fast.rm_offload base.rm_offload;
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"readmix\",\n  \"seed\": %d,\n  \"requests\": %d,\n  \
+       \"read_pct\": %d,\n  \"fastpath\": %s,\n  \"consensus\": %s,\n  \
+       \"offload_ratio\": %.3f,\n  \"rerun_identical\": %b\n}\n"
+      seed requests read_pct (readmix_run_json fast) (readmix_run_json base)
+      ratio identical
+  in
+  (match open_out out with
+  | oc ->
+    output_string oc json;
+    close_out oc;
+    Printf.printf "wrote %s\n" out
+  | exception Sys_error msg ->
+    Printf.eprintf "crane: cannot write %s: %s\n" out msg;
+    exit 1);
+  if not check then 0
+  else begin
+    let bound = 2.0 in
+    let ok =
+      fast.rm_errors = 0 && base.rm_errors = 0 && ratio >= bound
+      && fast.rm_lease_reads > 0 && fast.rm_backup_reads > 0 && identical
+    in
+    if ok then begin
+      Printf.printf
+        "CHECK OK: offload %.2fx (bound %.1fx), %d lease + %d backup reads, \
+         0 errors, deterministic\n"
+        ratio bound fast.rm_lease_reads fast.rm_backup_reads;
+      0
+    end
+    else begin
+      Printf.printf
+        "CHECK FAIL: ratio=%.2f (bound %.1f) errors=%d/%d lease=%d backup=%d \
+         identical=%b\n"
+        ratio bound fast.rm_errors base.rm_errors fast.rm_lease_reads
+        fast.rm_backup_reads identical;
       1
     end
   end
@@ -1219,6 +1393,27 @@ let bench_reconfig_term =
   Term.(const bench_reconfig_cmd $ quick_arg $ seed_arg $ reconfig_out_arg
         $ reconfig_check_arg)
 
+let readmix_out_arg =
+  Arg.(value & opt string "BENCH_readmix.json"
+       & info [ "out"; "o" ] ~doc:"Benchmark JSON output file.")
+
+let readmix_pct_arg =
+  Arg.(value & opt int 95
+       & info [ "read-pct" ] ~doc:"Percentage of requests issued as reads.")
+
+let readmix_check_arg =
+  Arg.(value & flag
+       & info [ "check" ]
+           ~doc:"Exit nonzero unless the fast path's commit-path offload \
+                 (completions per consensus entry) is at least 2x the \
+                 all-consensus baseline, both lease and backup reads were \
+                 served, no request hard-fails, and a same-seed rerun is \
+                 byte-identical.")
+
+let bench_readmix_term =
+  Term.(const bench_readmix_cmd $ quick_arg $ seed_arg $ readmix_pct_arg
+        $ readmix_out_arg $ readmix_check_arg)
+
 let trace_term =
   Term.(const trace_cmd $ server_arg $ mode_arg $ clients_arg $ requests_arg
         $ seed_arg $ format_arg $ out_arg)
@@ -1291,7 +1486,13 @@ let cmds =
              ~doc:"Measure client-visible unavailability while the killed \
                    primary is replaced through a live membership change; write \
                    BENCH_reconfig.json.")
-          bench_reconfig_term ];
+          bench_reconfig_term;
+        Cmd.v
+          (Cmd.info "readmix"
+             ~doc:"Measure commit-path offload of lease/bounded-stale reads \
+                   vs all-consensus reads on a read-heavy mix; write \
+                   BENCH_readmix.json.")
+          bench_readmix_term ];
     Cmd.v
       (Cmd.info "profile"
          ~doc:"Commit critical-path profile: per-stage latency decomposition, \

@@ -111,6 +111,7 @@ let bank : Api.server =
                 (String.split_on_char ',' s));
           mem_bytes = (fun () -> 500_000);
           stop = ignore;
+          read = (fun _ -> None);
         });
   }
 

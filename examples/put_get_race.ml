@@ -55,6 +55,7 @@ let fast_paxos =
     compaction_threshold = Crane_paxos.Paxos.default_config.compaction_threshold;
     catchup_chunk = Crane_paxos.Paxos.default_config.catchup_chunk;
     suspect_timeout = Crane_paxos.Paxos.default_config.suspect_timeout;
+    lease_duration = Time.ms 150;
   }
 
 let race_crane seed =

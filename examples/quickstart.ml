@@ -49,6 +49,7 @@ let greeter : Api.server =
           load_state = (fun s -> hits := int_of_string s);
           mem_bytes = (fun () -> 1_000_000);
           stop = ignore;
+          read = (fun _ -> None);
         });
   }
 

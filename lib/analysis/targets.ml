@@ -43,6 +43,7 @@ let racy_counter () : Api.server =
       load_state = (fun _ -> ());
       mem_bytes = (fun () -> 4096);
       stop = (fun () -> ());
+      read = (fun _ -> None);
     }
   in
   { Api.name = "racy-counter"; install = (fun _ -> ()); boot }

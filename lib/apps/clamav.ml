@@ -156,6 +156,7 @@ let server ?(cfg = default_config) () : Api.server =
         (fun () ->
           R.cell_set stopped true;
           B.Worklist.close worklist);
+      read = (fun _ -> None);
     }
   in
   { Api.name = "clamav"; install = install_tree cfg; boot }

@@ -113,6 +113,24 @@ let make ~name ~(cfg : config) : Api.server =
         (fun () ->
           R.cell_set stopped true;
           B.Worklist.close worklist);
+      read =
+        (fun raw ->
+          (* Static GETs answer straight from the document root.  PHP
+             pages stay on the consensus path: their interpretation is
+             the workload being measured (and hint-synchronized). *)
+          if not (Httpkit.is_complete raw) then None
+          else
+            match Httpkit.parse_request raw with
+            | Some { Httpkit.meth = "GET"; path; _ }
+              when not (Filename.check_suffix path ".php") ->
+              let page = cfg.docroot ^ path in
+              let now = Time.to_string (R.now ()) in
+              if Memfs.exists R.fs ~path:page then
+                Some
+                  (Httpkit.response ~now ~status:200
+                     (Memfs.read_exn R.fs ~path:page))
+              else Some (Httpkit.response ~now ~status:404 "404 Not Found")
+            | Some _ | None -> None);
     }
   in
   { Api.name; install; boot }

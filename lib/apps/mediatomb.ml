@@ -134,6 +134,7 @@ let server ?(cfg = default_config) () : Api.server =
         (fun () ->
           R.cell_set stopped true;
           B.Worklist.close worklist);
+      read = (fun _ -> None);
     }
   in
   { Api.name = "mediatomb"; install; boot }

@@ -183,6 +183,21 @@ let server ?(cfg = default_config) () : Api.server =
         (fun () ->
           R.cell_set stopped true;
           B.Worklist.close worklist);
+      read =
+        (fun line ->
+          (* Point SELECTs answer from the table directly; anything else
+             (UPDATE, unparsable) stays on the consensus path.  Skips the
+             lock choreography and cost model: the fast path's latency is
+             the proxy's, not the modeled B-tree descent's. *)
+          match Sqlkit.parse_stmt (String.trim line) with
+          | Some (Sqlkit.Select { tbl; id }) -> (
+            match Sqlkit.table !db tbl with
+            | Some t -> (
+              match Sqlkit.select t ~id with
+              | Some v -> Some (Printf.sprintf "row id=%d c=%d\n" id v)
+              | None -> Some "empty set\n")
+            | None -> Some "ERROR unknown table\n")
+          | Some (Sqlkit.Update _) | None -> None);
     }
   in
   { Api.name = "mysql"; install = install cfg; boot }

@@ -24,6 +24,8 @@ module Cluster = Crane_core.Cluster
 module Instance = Crane_core.Instance
 module Api = Crane_core.Api
 module Output_log = Crane_core.Output_log
+module Sock = Crane_socket.Sock
+module Proxy = Crane_core.Proxy
 module Target = Crane_workload.Target
 module Loadgen = Crane_workload.Loadgen
 module Trace = Crane_trace.Trace
@@ -58,6 +60,10 @@ type fault =
   | Replace of { dead : string; fresh : string }
       (** live reconfiguration: swap [dead] out of the membership for a
           freshly booted [fresh], routed through consensus *)
+  | Replace_crashed of { fresh : string }
+      (** like [Replace], but the victim is whichever replica crashed
+          first — scenarios that kill the (unknown-by-name) primary use it
+          to reconfigure the corpse out afterwards *)
   | Autoheal
       (** arm the cluster's failure detector: suspected-dead members are
           replaced automatically from here on *)
@@ -76,6 +82,7 @@ let fault_name = function
   | Loss_window _ -> "loss_window"
   | Latency_spike _ -> "latency_spike"
   | Replace { dead; fresh } -> Printf.sprintf "replace %s -> %s" dead fresh
+  | Replace_crashed { fresh } -> Printf.sprintf "replace_crashed -> %s" fresh
   | Autoheal -> "autoheal"
 
 type step = { at : Time.t; fault : fault }
@@ -95,6 +102,10 @@ type scenario = {
   clients : int;
   requests : int;
   think : Time.t;
+  read_clients : int;
+      (** fast-path read-burst threads hammering every replica's read
+          port throughout the run (0 = no read traffic); their
+          observations feed the bounded-stale-reads invariant *)
   expect_snapshot : bool;
       (** the scenario is built so that a replica falls behind the
           compaction watermark: the run must recover it through the
@@ -124,6 +135,10 @@ type report = {
   r_reconfigs : int;  (** membership changes activated (max over replicas) *)
   r_epoch : int;  (** configuration epoch in force at the end of the run *)
   r_fenced_drops : int;  (** messages dropped from fenced-out old members *)
+  r_lease_reads : int;  (** fast-path reads served under leader leases *)
+  r_backup_reads : int;  (** bounded-stale reads served by backup proxies *)
+  r_lease_rejects : int;  (** fast-path reads refused (no lease / fenced) *)
+  r_read_obs : int;  (** read-burst observations audited by the checker *)
   r_checkpoints_skipped : int;  (** rounds abandoned: connections never drained *)
   r_acked : int;
   r_ok : int;
@@ -181,6 +196,9 @@ let render_report r =
   line "snapshot installs:  %d" r.r_snapshots_installed;
   line "reconfigurations:   %d (final epoch %d, %d fenced drops)" r.r_reconfigs
     r.r_epoch r.r_fenced_drops;
+  line "read fast path:     %d lease / %d backup / %d rejected (%d observations \
+        audited)"
+    r.r_lease_reads r.r_backup_reads r.r_lease_rejects r.r_read_obs;
   line "checkpoints skipped:%d" r.r_checkpoints_skipped;
   line "final primary:      %s" (Option.value r.final_primary ~default:"(none)");
   Buffer.add_string b
@@ -311,6 +329,13 @@ let apply_fault d fault =
   | Replace { dead; fresh } ->
     Cluster.replace_replica d.cluster ~dead ~fresh;
     note d "replace" (dead ^ " -> " ^ fresh)
+  | Replace_crashed { fresh } -> (
+    match d.crashed with
+    | [] -> note d "skip" "replace_crashed"
+    | dead :: rest ->
+      d.crashed <- rest;
+      Cluster.replace_replica d.cluster ~dead ~fresh;
+      note d "replace" (dead ^ " -> " ^ fresh))
   | Autoheal ->
     Cluster.enable_autoheal d.cluster;
     note d "autoheal" "armed"
@@ -432,9 +457,99 @@ let rec sampler_loop d =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* Read-burst observers: fast-path reads against every replica's read
+   port while the nemesis plays, each observation stamped with the
+   acked-write set snapshotted before the read was issued.  The
+   bounded-stale-reads invariant audits them at the end. *)
+
+type read_obs = {
+  o_node : string;  (** replica whose read port served the answer *)
+  o_mode : [ `Lease | `Backup of int ];
+  o_epoch : int;
+  o_wm : int;  (** watermark the reply claimed *)
+  o_ids : string list;  (** ledger content the reply carried *)
+  o_acked_before : string list;
+      (** writes acked before the read was issued (lease reads only:
+          the linearizability obligation) *)
+}
+
+(* One fast read against a specific node (no failover: the observer
+   wants to know exactly who answered).  None = transport failure. *)
+let fast_read_node d ~read_port ~node ~from =
+  match Sock.connect (Cluster.world d.cluster) ~from ~node ~port:read_port with
+  | exception Sock.Connection_refused _ -> None
+  | conn ->
+    let reply =
+      try
+        Sock.send conn (Proxy.encode_read_request "GET\n");
+        let rec go buf =
+          match Proxy.parse_read_reply buf with
+          | Some (r, _) -> Some r
+          | None ->
+            let chunk = Sock.recv ~timeout:(Time.ms 500) conn ~max:65536 in
+            if chunk = "" then None else go (buf ^ chunk)
+        in
+        go ""
+      with Sock.Connection_closed -> None
+    in
+    (try Sock.close conn with Sock.Connection_closed -> ());
+    reply
+
+(* ------------------------------------------------------------------ *)
 (* End-of-run checks                                                   *)
 
-let final_checks d ~(ledger : Ledger.client) ~probe_errors =
+(* The stale-read invariant over the burst observations, in issue order:
+   - every read (lease or backup) is a prefix of the final converged
+     ledger — nobody ever served fabricated or reordered content;
+   - a lease read contains every write acked before it was issued —
+     leases really are linearizable, across view change and fencing;
+   - per node, watermarks never regress, and a later read with an equal
+     or higher watermark extends (never rewrites) an earlier one — no
+     read is older than its returned watermark. *)
+let check_reads ~final_ids reads =
+  let rec is_prefix xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+    | _ :: _, [] -> false
+  in
+  let last : (string, int * string list) Hashtbl.t = Hashtbl.create 8 in
+  let v = ref None in
+  List.iteri
+    (fun i o ->
+      if !v = None then
+        if not (is_prefix o.o_ids final_ids) then
+          v :=
+            Some
+              (Printf.sprintf "read %d on %s is not a prefix of the final ledger"
+                 i o.o_node)
+        else if
+          o.o_mode = `Lease
+          && List.exists (fun id -> not (List.mem id o.o_ids)) o.o_acked_before
+        then
+          v :=
+            Some
+              (Printf.sprintf
+                 "lease read %d on %s is missing a write acked before it was \
+                  issued"
+                 i o.o_node)
+        else
+          match Hashtbl.find_opt last o.o_node with
+          | Some (wm, _) when o.o_wm < wm ->
+            v :=
+              Some
+                (Printf.sprintf "watermark regressed on %s: %d after %d"
+                   o.o_node o.o_wm wm)
+          | Some (_, ids) when not (is_prefix ids o.o_ids) ->
+            v :=
+              Some
+                (Printf.sprintf
+                   "read %d on %s rewrote history below its watermark" i o.o_node)
+          | Some _ | None -> Hashtbl.replace last o.o_node (o.o_wm, o.o_ids))
+    reads;
+  !v
+
+let final_checks d ~(ledger : Ledger.client) ~probe_errors ~reads =
   let live = Cluster.instances d.cluster in
   let check name f = (name, f ()) in
   let sampled name =
@@ -566,6 +681,18 @@ let final_checks d ~(ledger : Ledger.client) ~probe_errors =
         | (name, e) :: _ ->
           Some (Printf.sprintf "thread %s died: %s" name (Printexc.to_string e)));
   ]
+  @
+  match reads with
+  | [] -> []
+  | _ :: _ ->
+    [ check "bounded-stale-reads" (fun () ->
+          match live with
+          | [] -> Some "no live replicas"
+          | (_, i0) :: _ ->
+            check_reads
+              ~final_ids:
+                (Ledger.ids_of_state (i0.Instance.handle.Api.state_of ()))
+              reads) ]
 
 (* ------------------------------------------------------------------ *)
 (* Running a scenario                                                  *)
@@ -590,6 +717,9 @@ let chaos_config =
         (* Fast suspicion so autoheal scenarios detect a dead member well
            inside the schedule horizon. *)
         suspect_timeout = Time.ms 450;
+        (* Shorter than the 300 ms election timeout, as lease safety
+           requires. *)
+        lease_duration = Time.ms 150;
       };
     checkpoint_period = Time.sec 2;
     (* Small enough that chaos runs actually trim the output log, forcing
@@ -636,6 +766,46 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
   (* the workload runs across the whole fault window *)
   let target = Target.cluster cluster ~port:80 in
   let ledger = Ledger.client () in
+  (* Read burst: observer threads cycling over the member list, reading
+     through each replica's fast path.  They snapshot the acked-write set
+     before every read — the obligation a lease read must meet. *)
+  let read_obs = ref [] (* newest first *) in
+  let readers_on = ref true in
+  if scenario.read_clients > 0 then
+    for rc = 1 to scenario.read_clients do
+      Engine.spawn eng ~name:(Printf.sprintf "chaos-reader%d" rc) (fun () ->
+          let from = Printf.sprintf "chaos-r%d" rc in
+          let rec loop n =
+            if !readers_on then begin
+              (match Cluster.members cluster with
+              | [] -> ()
+              | nodes ->
+                let node = List.nth nodes (n mod List.length nodes) in
+                let acked_before = Ledger.acked_ids ledger in
+                (match
+                   fast_read_node d ~read_port:cfg.Instance.read_port ~node ~from
+                 with
+                | Some (Proxy.Served r) ->
+                  read_obs :=
+                    {
+                      o_node = node;
+                      o_mode = r.Proxy.mode;
+                      o_epoch = r.Proxy.epoch;
+                      o_wm = r.Proxy.watermark;
+                      o_ids = Ledger.ids_of_reply r.Proxy.value;
+                      o_acked_before =
+                        (match r.Proxy.mode with
+                        | `Lease -> acked_before
+                        | `Backup _ -> []);
+                    }
+                    :: !read_obs
+                | Some (Proxy.Rejected | Proxy.Write_required) | None -> ()));
+              Engine.sleep eng (Time.ms 15);
+              loop (n + 1)
+            end
+          in
+          loop rc)
+    done;
   let handle =
     Loadgen.run ~name:"chaos" ~seed ~think:scenario.think ~retries:6
       ~retry_backoff:(Time.ms 100) ~clients:scenario.clients ~requests:scenario.requests
@@ -654,6 +824,9 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
   Fabric.set_loss (Cluster.fabric cluster) 0.0;
   Fabric.set_latency (Cluster.fabric cluster) ~base:(Time.us 40) ~jitter:(Time.us 20);
   Cluster.run ~until:(Engine.now eng + scenario.settle) cluster;
+  (* the read burst kept observing through heal + settle; stop it before
+     the liveness probe so the audit set is fixed *)
+  readers_on := false;
   (* liveness probe: with the network healed and a quorum up, every
      request must succeed *)
   let probe =
@@ -692,6 +865,7 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
   let snapshots_installed = sum (fun p -> (Paxos.stats p).Paxos.snapshots_installed) in
   let invariants =
     final_checks d ~ledger ~probe_errors:probe_r.Loadgen.errors
+      ~reads:(List.rev !read_obs)
     @
     if scenario.expect_snapshot then
       [ ( "snapshot-recovery",
@@ -718,6 +892,22 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
         0 (Cluster.instances cluster);
     r_epoch = Cluster.current_epoch cluster;
     r_fenced_drops = sum (fun p -> (Paxos.stats p).Paxos.fenced_drops);
+    r_lease_reads =
+      List.fold_left
+        (fun acc (_, inst) ->
+          acc + (Crane_core.Proxy.stats inst.Instance.proxy).Proxy.lease_reads)
+        0 (Cluster.instances cluster);
+    r_backup_reads =
+      List.fold_left
+        (fun acc (_, inst) ->
+          acc + (Crane_core.Proxy.stats inst.Instance.proxy).Proxy.backup_reads)
+        0 (Cluster.instances cluster);
+    r_lease_rejects =
+      List.fold_left
+        (fun acc (_, inst) ->
+          acc + (Crane_core.Proxy.stats inst.Instance.proxy).Proxy.lease_rejects)
+        0 (Cluster.instances cluster);
+    r_read_obs = List.length !read_obs;
     r_checkpoints_skipped =
       List.fold_left
         (fun acc (_, inst) ->
@@ -747,6 +937,7 @@ let base =
     clients = 4;
     requests = 160;
     think = Time.ms 40;
+    read_clients = 0;
     expect_snapshot = false;
   }
 
@@ -812,7 +1003,7 @@ let scenarios =
             { at = Time.ms 3300; fault = Heal };
             { at = Time.sec 4; fault = Crash_primary { torn_wal = false } };
             { at = Time.sec 5; fault = Restart_one } ] };
-    {
+    { base with
       name = "compaction-catchup";
       about = "crash a non-checkpoint backup early, run thousands of events past \
                the compaction watermark, then restart it: the freed log prefix \
@@ -847,7 +1038,7 @@ let scenarios =
             { at = Time.ms 1400;
               fault = Replace { dead = "replica3"; fresh = "replica4" } };
             { at = Time.ms 3200; fault = Heal } ] };
-    {
+    { base with
       name = "replace-catchup";
       about = "crash a backup early, run thousands of events past the compaction \
                watermark, then replace it with a fresh replica: the joiner's empty \
@@ -866,6 +1057,19 @@ let scenarios =
                the joiner's bootstrap cannot be served from the log *)
             { at = Time.sec 7;
               fault = Replace { dead = "replica3"; fresh = "replica4" } } ] };
+    { base with
+      name = "stale-read-viewchange";
+      about = "kill the lease-holding primary mid-read-burst, then reconfigure \
+               the corpse out (a fencing window): no read may be staler than \
+               its returned watermark, and lease reads stay linearizable";
+      duration = Time.sec 5;
+      settle = Time.sec 2;
+      requests = 200;
+      read_clients = 3;
+      schedule =
+        Timed
+          [ { at = Time.sec 1; fault = Crash_primary { torn_wal = false } };
+            { at = Time.ms 2500; fault = Replace_crashed { fresh = "replica4" } } ] };
     { base with
       name = "kill-autoheal-kill";
       about = "arm the failure detector, then kill two replicas in sequence: each \

@@ -45,6 +45,13 @@ let server : Api.server =
                         incr count;
                         R.unlock mu;
                         R.send c (Printf.sprintf "OK %s\n" id)
+                      | [ "GET" ] ->
+                        (* Consensus-path read: the all-consensus baseline
+                           and the fast path's REJECT/fallback route. *)
+                        R.lock mu;
+                        let snapshot = String.concat "," (List.rev !ids) in
+                        R.unlock mu;
+                        R.send c (Printf.sprintf "IDS %s\n" snapshot)
                       | _ -> R.send c "ERR\n");
                       serve rest
                     | None ->
@@ -63,6 +70,11 @@ let server : Api.server =
               count := List.length l);
           mem_bytes = (fun () -> 1_000_000 + (16 * !count));
           stop = (fun () -> stopped := true);
+          read =
+            (fun line ->
+              if String.trim line = "GET" then
+                Some (Printf.sprintf "IDS %s\n" (String.concat "," (List.rev !ids)))
+              else None);
         });
   }
 
@@ -112,3 +124,70 @@ let request t target ~from =
 (* Parse a replica's ledger state back into an id set. *)
 let ids_of_state s =
   if s = "" then [] else String.split_on_char ',' s
+
+(* ------------------------------------------------------------------ *)
+(* Read clients. *)
+
+module Proxy = Crane_core.Proxy
+
+(* Consensus-path GET: the all-consensus read baseline, and the fallback
+   when the fast path answers REJECT.  Returns the [IDS ...] line. *)
+let consensus_get target ~from =
+  match Target.connect target ~from with
+  | None -> None
+  | Some conn ->
+    let resp =
+      try
+        Sock.send conn "GET\n";
+        let rec read buf =
+          if String.contains buf '\n' then Some buf
+          else
+            let chunk = Sock.recv ~timeout:(Time.sec 5) conn ~max:65536 in
+            if chunk = "" then if buf = "" then None else Some buf
+            else read (buf ^ chunk)
+        in
+        read ""
+      with Sock.Connection_closed -> None
+    in
+    (try Sock.close conn with Sock.Connection_closed -> ());
+    (match resp with
+    | Some r when String.length r >= 4 && String.sub r 0 4 = "IDS " -> resp
+    | Some _ | None -> None)
+
+(* One fast-path read against [rtarget] (a read-port target): GET through
+   the proxy's read envelope.  None = transport failure. *)
+let fast_get rtarget ~from =
+  match Target.connect rtarget ~from with
+  | None -> None
+  | Some conn ->
+    let reply =
+      try
+        Sock.send conn (Proxy.encode_read_request "GET\n");
+        let rec go buf =
+          match Proxy.parse_read_reply buf with
+          | Some (r, _) -> Some r
+          | None ->
+            let chunk = Sock.recv ~timeout:(Time.sec 5) conn ~max:65536 in
+            if chunk = "" then None else go (buf ^ chunk)
+        in
+        go ""
+      with Sock.Connection_closed -> None
+    in
+    (try Sock.close conn with Sock.Connection_closed -> ());
+    reply
+
+(* Fast path with consensus fallback: the client-visible read operation.
+   [Served] answers return their value; a rejected or transport-failed
+   fast read retries on the consensus funnel. *)
+let read_request ~rtarget ~target ~from =
+  match fast_get rtarget ~from with
+  | Some (Proxy.Served r) -> Some r.Proxy.value
+  | Some Proxy.Rejected | Some Proxy.Write_required | None ->
+    consensus_get target ~from
+
+(* Parse the ids out of an [IDS ...] reply line. *)
+let ids_of_reply r =
+  match String.index_opt r '\n' with
+  | Some i when String.length r >= 4 && String.sub r 0 4 = "IDS " ->
+    ids_of_state (String.trim (String.sub r 4 (i - 4)))
+  | Some _ | None -> []

@@ -92,6 +92,14 @@ type handle = {
   load_state : string -> unit;
   mem_bytes : unit -> int;
   stop : unit -> unit;
+  read : string -> string option;
+      (** Read fast path: answer a GET-style request payload directly
+          from current server state, without a consensus round or a
+          sequence entry.  [None] means the request is not a pure read
+          (or the server has no fast path) — the caller must fall back
+          to the consensus path.  Must not block, yield, or mutate
+          state: the proxy calls it synchronously from its own thread,
+          so the answer reflects one instant of server state. *)
 }
 
 (** A server program, supplied to a cluster or run directly against any

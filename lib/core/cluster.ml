@@ -104,6 +104,14 @@ let primary t =
 
 let primary_node t = Option.map fst (primary t)
 
+(** Live non-primary replicas: the read fast path's bounded-stale
+    capacity.  Empty when only the primary is up. *)
+let backup_nodes t =
+  let p = primary_node t in
+  List.filter_map
+    (fun (node, _) -> if Some node = p then None else Some node)
+    t.instances
+
 (** Crash a replica.  [wal_torn] models the crash landing mid-append: the
     oldest in-flight WAL write survives only as a torn partial tail (and
     younger in-flight writes are lost), which recovery must discard. *)

@@ -30,6 +30,11 @@ type config = {
   usleep : Time.t;
   cores : int;
   service_port : int;
+  read_fastpath : bool;
+      (** serve the read port (leader-lease + bounded-stale backup reads);
+          off = every request funnels through consensus, the pre-lease
+          behaviour *)
+  read_port : int;  (** client-facing read-fast-path port (all replicas) *)
   turn_cost : Time.t;
   idle_period : Time.t;
   pthread_cost : Pthread.cost;
@@ -61,6 +66,8 @@ let default_config =
     usleep = Time.us 10;
     cores = 24;
     service_port = 80;
+    read_fastpath = true;
+    read_port = 10080;
     turn_cost = Time.ns 150;
     idle_period = Time.us 10;
     pthread_cost = Pthread.default_cost;
@@ -143,6 +150,7 @@ let boot ~eng ~fabric ~world ~rng ~wal ~members ~node ~(cfg : config) ~(server :
   let proxy =
     Proxy.create ~eng ~node ~world ~port:cfg.service_port ~paxos ~vhost ~group
       ~skip_upto ~batch_max:cfg.batch_max ~batch_delay:cfg.batch_delay
+      ?read_port:(if cfg.read_fastpath then Some cfg.read_port else None)
       ~on_config ~on_fence ()
   in
   let runtime =
@@ -157,6 +165,7 @@ let boot ~eng ~fabric ~world ~rng ~wal ~members ~node ~(cfg : config) ~(server :
   (* Boot the server program inside the instance. *)
   let handle = server.Api.boot runtime.Runtime.api in
   (match restore_state with Some state -> handle.Api.load_state state | None -> ());
+  if cfg.read_fastpath then Proxy.set_read_handler proxy handle.Api.read;
   let manager =
     (* Quiescence for a checkpoint means no alive connections AND no
        decided-but-unconsumed client calls in the PAXOS sequence: the

@@ -72,7 +72,9 @@ let head t =
   if t.bubble_left > 0 then Some (Event.Time_bubble { nclock = t.bubble_left })
   else Option.map snd (Queue.peek_opt t.q)
 
-let drop_head t =
+(* Admit the call at the head, returning its global index (0 when the
+   entry predates index threading, e.g. checkpoint replay). *)
+let drop_head_ix t =
   normalize t;
   if t.bubble_left > 0 then invalid_arg "Paxos_seq.drop_head: head is a bubble"
   else begin
@@ -97,8 +99,11 @@ let drop_head t =
           Trace.async_end tr ~ts ~tid ~id:index ~node:t.node ~cat:"req"
             ~name:"lifecycle" []
       end
-    end
+    end;
+    index
   end
+
+let drop_head t = ignore (drop_head_ix t)
 
 let is_empty t =
   normalize t;
@@ -136,6 +141,14 @@ let clear t =
   t.bubble_left <- 0;
   t.queued_calls <- 0;
   t.last_nonempty <- Engine.now t.eng
+
+(* Global index of the oldest entry still queued (bubbles included —
+   they carry indices too), or None when nothing is queued.  The read
+   fast path uses it as an upper bound on the state watermark: anything
+   at or past this index has been decided but not yet admitted. *)
+let lowest_index t =
+  normalize t;
+  Option.map fst (Queue.peek_opt t.q)
 
 let length t = Queue.length t.q + if t.bubble_left > 0 then 1 else 0
 let max_depth t = t.max_depth

@@ -43,6 +43,13 @@ type t = {
   mutable bubbles_proposed : int;
   mutable calls_proposed : int;
   mutable batches_flushed : int;
+  (* Read fast path: the booted server's pure-read hook ([Api.handle.read]),
+     installed by the instance after boot.  None = this replica serves no
+     fast-path reads (every request stays on the consensus funnel). *)
+  mutable read_handler : (string -> string option) option;
+  mutable lease_reads : int;
+  mutable backup_reads : int;
+  mutable lease_rejects : int;
   mutable stopped : bool;
 }
 
@@ -51,7 +58,86 @@ type stats = {
   calls_proposed : int;
   client_count : int;
   batches_flushed : int;
+  lease_reads : int;  (** fast-path reads served under a valid leader lease *)
+  backup_reads : int;  (** bounded-stale reads served by this (backup) proxy *)
+  lease_rejects : int;  (** fast-path reads refused (no lease / fenced) *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Read/write split: the typed client-facing read surface.
+
+   A client request is classified [Read] when the server's fast-path hook
+   can answer it from current state, [Write] otherwise — so classification
+   is the server's own judgement ([R.cell_get]-style pure reads classify
+   automatically), not a protocol annotation the client could get wrong.
+   Reads are routed around [Paxos.submit] entirely; writes keep the
+   batched consensus path byte-identical. *)
+
+type request_class = Read of string | Write
+
+type read_result = {
+  value : string;
+  mode : [ `Lease | `Backup of int ];
+      (** [`Lease]: linearizable, served by the lease-holding primary.
+          [`Backup stale]: bounded-stale, [stale] = committed entries the
+          serving replica had not yet reflected at answer time. *)
+  epoch : int;  (** configuration epoch the read was served under *)
+  watermark : int;
+      (** consensus index the answer is guaranteed to reflect: every
+          committed entry [<= watermark] is included in [value]'s state *)
+}
+
+type read_reply =
+  | Served of read_result
+  | Write_required  (** the server classified the payload as a write *)
+  | Rejected  (** no valid lease / fenced replica: retry on consensus path *)
+
+(* Wire framing for the read port.  Requests: ["READ <len>\n<len bytes>"].
+   Replies: ["LEASE <epoch> <wm> <len>\n<bytes>"],
+   ["STALE <epoch> <wm> <stale> <len>\n<bytes>"], ["REJECT\n"],
+   ["WRITE\n"].  Length-prefixed both ways so payloads may hold newlines
+   (e.g. full HTTP requests). *)
+
+let encode_read_request payload =
+  Printf.sprintf "READ %d\n%s" (String.length payload) payload
+
+(* Parse one reply from the head of [buf]; [None] = incomplete, recv more.
+   Malformed headers parse as [Rejected] so a confused client falls back
+   to the consensus path rather than wedging. *)
+let parse_read_reply buf =
+  match String.index_opt buf '\n' with
+  | None -> None
+  | Some i -> (
+    let header = String.sub buf 0 i in
+    let rest = String.sub buf (i + 1) (String.length buf - i - 1) in
+    let body len k =
+      if String.length rest < len then None
+      else
+        Some
+          ( k (String.sub rest 0 len),
+            String.sub rest len (String.length rest - len) )
+    in
+    match String.split_on_char ' ' header with
+    | [ "REJECT" ] -> Some (Rejected, rest)
+    | [ "WRITE" ] -> Some (Write_required, rest)
+    | [ "LEASE"; e; wm; len ] -> (
+      match
+        (int_of_string_opt e, int_of_string_opt wm, int_of_string_opt len)
+      with
+      | Some epoch, Some watermark, Some len ->
+        body len (fun value ->
+            Served { value; mode = `Lease; epoch; watermark })
+      | _ -> Some (Rejected, rest))
+    | [ "STALE"; e; wm; st; len ] -> (
+      match
+        ( int_of_string_opt e, int_of_string_opt wm, int_of_string_opt st,
+          int_of_string_opt len )
+      with
+      | Some epoch, Some watermark, Some stale, Some len ->
+        body len (fun value ->
+            Served { value; mode = `Backup stale; epoch; watermark })
+      | _ -> Some (Rejected, rest))
+    | _ -> Some (Rejected, rest))
 
 (* Propose everything buffered as one batch: one Accept broadcast and one
    group-commit fsync for the lot.  If primaryship was lost since the
@@ -194,6 +280,101 @@ let acceptor_loop t listener =
     else Sock.close conn (* backups do not serve clients *)
   done
 
+(* ------------------------------------------------------------------ *)
+(* Read fast path: serving side. *)
+
+let classify t payload =
+  match t.read_handler with
+  | None -> Write
+  | Some f -> ( match f payload with Some v -> Read v | None -> Write)
+
+let read_trace t ~name args =
+  let tr = Engine.trace t.eng in
+  if Trace.enabled tr then
+    Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+      ~node:t.node ~cat:"read" ~name args
+
+(* Answer one read-port request.  The hook runs synchronously in this
+   thread with no engine yield, so the value it computes and the
+   watermark stamped next to it describe the same instant of server
+   state. *)
+let serve_read t payload =
+  let epoch = Paxos.epoch t.paxos in
+  let wm () = Vhost.read_watermark t.vhost ~applied:(Paxos.applied t.paxos) in
+  if Paxos.fenced t.paxos then begin
+    t.lease_rejects <- t.lease_rejects + 1;
+    read_trace t ~name:"reject" [ ("why", Trace.Str "fenced") ];
+    "REJECT\n"
+  end
+  else if Paxos.is_primary t.paxos then
+    if Paxos.lease_valid t.paxos then (
+      match classify t payload with
+      | Write -> "WRITE\n"
+      | Read value ->
+        let wm = wm () in
+        t.lease_reads <- t.lease_reads + 1;
+        read_trace t ~name:"lease"
+          [ ("wm", Trace.Int wm); ("epoch", Trace.Int epoch) ];
+        Printf.sprintf "LEASE %d %d %d\n%s" epoch wm (String.length value) value)
+    else begin
+      (* Primary without a live lease (just elected, reconfig pending,
+         quorum of heartbeat acks not yet in): refusing is the safe
+         answer — serving locally could miss a concurrent new primary. *)
+      t.lease_rejects <- t.lease_rejects + 1;
+      read_trace t ~name:"reject" [ ("why", Trace.Str "no_lease") ];
+      "REJECT\n"
+    end
+  else (
+    match classify t payload with
+    | Write -> "WRITE\n"
+    | Read value ->
+      let wm = wm () in
+      let stale = max 0 (Paxos.committed t.paxos - wm) in
+      t.backup_reads <- t.backup_reads + 1;
+      read_trace t ~name:"backup"
+        [ ("wm", Trace.Int wm); ("stale", Trace.Int stale);
+          ("epoch", Trace.Int epoch) ];
+      Printf.sprintf "STALE %d %d %d %d\n%s" epoch wm stale
+        (String.length value) value)
+
+(* Per-connection pump on the read port: length-framed requests, one
+   reply each, nothing ever touches consensus. *)
+let read_rx_loop t conn =
+  let rec loop buf =
+    match String.index_opt buf '\n' with
+    | Some i -> (
+      let header = String.sub buf 0 i in
+      let rest = String.sub buf (i + 1) (String.length buf - i - 1) in
+      match String.split_on_char ' ' header with
+      | [ "READ"; l ] -> (
+        match int_of_string_opt l with
+        | Some len when len >= 0 ->
+          if String.length rest >= len then begin
+            let payload = String.sub rest 0 len in
+            let remainder = String.sub rest len (String.length rest - len) in
+            Sock.send conn (serve_read t payload);
+            loop remainder
+          end
+          else recv_more buf
+        | Some _ | None -> Sock.close conn)
+      | _ -> Sock.close conn)
+    | None -> recv_more buf
+  and recv_more buf =
+    let chunk = Sock.recv conn ~max:65536 in
+    if chunk = "" then Sock.close conn else loop (buf ^ chunk)
+  in
+  try loop "" with Sock.Connection_closed -> ()
+
+(* Unlike the consensus acceptor, every replica serves its read port:
+   backups answering bounded-stale reads is the point. *)
+let read_acceptor_loop t listener =
+  while not t.stopped do
+    let conn = Sock.accept listener in
+    Engine.spawn t.eng ~group:t.group
+      ~name:(Printf.sprintf "proxy-read-%d" (Sock.id conn))
+      (fun () -> read_rx_loop t conn)
+  done
+
 (* After a failover the new primary's server still holds connections whose
    clients were attached to the dead primary.  Close them through
    consensus so all replicas' servers clean up identically. *)
@@ -219,7 +400,7 @@ let rec orphan_monitor t =
       end)
 
 let create ~eng ~node ~world ~port ~paxos ~vhost ~group ~skip_upto
-    ?(batch_max = 1) ?(batch_delay = Time.us 100)
+    ?(batch_max = 1) ?(batch_delay = Time.us 100) ?read_port
     ?(on_config = fun ~epoch:_ _ -> ()) ?(on_fence = fun ~epoch:_ -> ()) () =
   let t =
     {
@@ -240,6 +421,10 @@ let create ~eng ~node ~world ~port ~paxos ~vhost ~group ~skip_upto
       bubbles_proposed = 0;
       calls_proposed = 0;
       batches_flushed = 0;
+      read_handler = None;
+      lease_reads = 0;
+      backup_reads = 0;
+      lease_rejects = 0;
       stopped = false;
     }
   in
@@ -310,8 +495,17 @@ let create ~eng ~node ~world ~port ~paxos ~vhost ~group ~skip_upto
   Engine.on_kill eng group (fun () -> Sock.close_listener listener);
   Engine.spawn eng ~group ~name:(node ^ "-proxy-acceptor") (fun () ->
       acceptor_loop t listener);
+  (match read_port with
+  | None -> ()
+  | Some rport ->
+    let rlistener = Sock.listen world ~node ~port:rport in
+    Engine.on_kill eng group (fun () -> Sock.close_listener rlistener);
+    Engine.spawn eng ~group ~name:(node ^ "-proxy-read-acceptor") (fun () ->
+        read_acceptor_loop t rlistener));
   orphan_monitor t;
   t
+
+let set_read_handler t f = t.read_handler <- Some f
 
 let stop t =
   t.stopped <- true;
@@ -330,4 +524,7 @@ let stats (t : t) : stats =
     calls_proposed = t.calls_proposed;
     client_count = Hashtbl.length t.client_conns;
     batches_flushed = t.batches_flushed;
+    lease_reads = t.lease_reads;
+    backup_reads = t.backup_reads;
+    lease_rejects = t.lease_rejects;
   }

@@ -82,6 +82,14 @@ type t = {
   mutable stopped : bool;
   mutable open_conns : int;
   mutable admitted : int;
+  (* Read-watermark bookkeeping: per connection, the index of the last
+     admitted Send whose processing may still be in flight.  An entry is
+     cleared when the connection proves quiescent — its server thread
+     drains the buffer and blocks in recv (everything admitted before
+     that instant has been fully executed), or the server closes it.
+     Bounded-stale reads subtract these from the claimed watermark so a
+     read never claims an index whose state effects are still pending. *)
+  inflight : (int, int) Hashtbl.t;
   mutable last_gate_clock : int;
   (* gate statistics *)
   mutable bulk_drains : int;
@@ -226,6 +234,7 @@ let create ?(node = "") eng ~cfg ~clocking =
       stopped = false;
       open_conns = 0;
       admitted = 0;
+      inflight = Hashtbl.create 64;
       last_gate_clock = 0;
       bulk_drains = 0;
       delta_drained = 0;
@@ -272,10 +281,11 @@ let deliver t ?index ev =
         | None -> Hashtbl.remove t.conns conn);
         drain ()
       | Some (Event.Send { conn; payload }) ->
-        Paxos_seq.drop_head t.seq;
+        let ix = Paxos_seq.drop_head_ix t.seq in
         (match Hashtbl.find_opt t.conns conn with
         | Some c when not c.vclosed ->
           Bytestream.push c.buf payload;
+          Hashtbl.replace t.inflight conn ix;
           note_admit t;
           signal_one t c.cobj
         | Some _ | None -> ());
@@ -356,12 +366,16 @@ let accept t l =
 let rec consume_admitted t (c : vconn) =
   match Paxos_seq.head t.seq with
   | Some (Event.Send { conn; payload }) when conn = c.vid ->
-    Paxos_seq.drop_head t.seq;
+    let ix = Paxos_seq.drop_head_ix t.seq in
+    Hashtbl.replace t.inflight c.vid ix;
     note_admit t;
     Bytestream.push c.buf payload;
     consume_admitted t c
   | Some (Event.Close { conn }) when conn = c.vid ->
     Paxos_seq.drop_head t.seq;
+    (* The admitting thread is blocked in recv, so earlier requests on
+       this connection have already executed: safe to stop tracking. *)
+    Hashtbl.remove t.inflight c.vid;
     c.veof <- true
   | Some (Event.Connect _ | Event.Send _ | Event.Close _ | Event.Time_bubble _)
   | None -> ()
@@ -377,6 +391,9 @@ let recv t (c : vconn) ~max =
     (match c.cobj with
     | Dobj o ->
       while Bytestream.is_empty c.buf && (not c.veof) && not c.vclosed do
+        (* About to block with an empty buffer: every admitted request on
+           this connection has been fully executed. *)
+        Hashtbl.remove t.inflight c.vid;
         Dmt.wait dmt ~obj:o;
         consume_admitted t c
       done
@@ -386,9 +403,11 @@ let recv t (c : vconn) ~max =
     match c.cobj with
     | Raw q ->
       while Bytestream.is_empty c.buf && (not c.veof) && not c.vclosed do
+        Hashtbl.remove t.inflight c.vid;
         raw_wait t q
       done
     | Dobj _ -> assert false));
+  if Bytestream.is_empty c.buf then Hashtbl.remove t.inflight c.vid;
   if c.vclosed then "" else Bytestream.take c.buf ~max
 
 let send t (c : vconn) payload =
@@ -417,6 +436,7 @@ let close t (c : vconn) =
     if not c.vclosed then begin
       c.vclosed <- true;
       t.open_conns <- t.open_conns - 1;
+      Hashtbl.remove t.inflight c.vid;
       t.handlers.on_server_close c.vid
     end
   in
@@ -438,6 +458,18 @@ let open_conns t = t.open_conns
 let admitted t = t.admitted
 
 let gate_stats t = (t.bulk_drains, t.delta_drained, t.gate_blocks, t.gate_block_time)
+
+(* Highest consensus index whose state effects this replica's server is
+   guaranteed to reflect: everything applied by consensus, minus entries
+   still queued in the sequence, minus admitted-but-possibly-executing
+   requests.  An index-0 entry (pre-index replay) claims nothing. *)
+let read_watermark t ~applied =
+  let wm =
+    match Paxos_seq.lowest_index t.seq with
+    | Some ix -> min applied (max 0 (ix - 1))
+    | None -> applied
+  in
+  Hashtbl.fold (fun _ ix acc -> min acc (max 0 (ix - 1))) t.inflight wm
 
 let set_handlers t handlers = t.handlers <- handlers
 let nclock t = t.cfg.nclock

@@ -15,6 +15,12 @@ type config = {
   suspect_timeout : Time.t;
       (** failure detector: a member silent this long is suspected dead
           (primary-side input to automated replacement) *)
+  lease_duration : Time.t;
+      (** leader lease: how long a quorum of heartbeat acks entitles the
+          primary to serve reads locally, anchored at heartbeat send time.
+          Must be shorter than [election_timeout] (clamped at creation if
+          not) so a lease can never outlive the silence a new election
+          requires *)
 }
 
 let default_config =
@@ -26,6 +32,7 @@ let default_config =
     compaction_threshold = 1024;
     catchup_chunk = 256;
     suspect_timeout = Time.sec 5;
+    lease_duration = Time.ms 1500;
   }
 
 let paxos_port = 1
@@ -40,8 +47,8 @@ type Fabric.message +=
       (** one round for a whole batch: values occupy indices [lo..lo+N-1] *)
   | Accept_batch_ok of { aview : int; lo : int; hi : int }
   | Commit of { cview : int; committed : int }
-  | Heartbeat of { hview : int; committed : int }
-  | Heartbeat_ok of { hview : int; h_applied : int }
+  | Heartbeat of { hview : int; hseq : int; committed : int }
+  | Heartbeat_ok of { hview : int; hseq : int; h_applied : int }
   | View_change of { nview : int; cand_committed : int }
   | View_change_ok of
       { nview : int; tail : wire_entry list; committed : int; vbase : int }
@@ -164,6 +171,21 @@ type t = {
      all (any message).  [suspects] compares this against
      suspect_timeout. *)
   peer_heard : (Fabric.node, Time.t) Hashtbl.t;
+  (* Leader lease (primary side): each heartbeat round is numbered; when
+     a quorum acks the current round, the lease extends to that round's
+     send instant plus [lease_duration].  Anchoring at send time is
+     conservative — every acking backup promised (by refusing election
+     votes, see [last_hb_acked]) not to elect past a later instant. *)
+  mutable hb_seq : int;
+  mutable hb_sent : Time.t;
+  mutable hb_acks : Fabric.node list;
+  mutable lease_until : Time.t;
+  (* Lease promise (backup side): the instant this node last sent a
+     Heartbeat_ok.  Until [lease_duration] past it, the node refuses
+     election votes — the voter-side half of lease disjointness: any new
+     view needs a quorum, every quorum intersects the acking quorum, and
+     the intersecting voter waits out the lease it helped grant. *)
+  mutable last_hb_acked : Time.t;
   (* Failure detection / election. *)
   mutable last_heartbeat : Time.t;
   (* Last instant any peer was heard from: a primary that loses quorum
@@ -193,6 +215,7 @@ type t = {
   mutable peak_log : int;
   mutable reconfigs : int;
   mutable fenced_drops : int;
+  mutable leases_held : int;
   (* Batching accounting (proposer side): proposed batches waiting for
      their whole index range to commit, oldest first, plus the committed
      histogram. *)
@@ -222,6 +245,7 @@ type stats = {
   epoch : int;
   reconfigs : int;
   fenced_drops : int;
+  leases_held : int;
 }
 
 let node t = t.self
@@ -263,13 +287,29 @@ let stats (t : t) : stats =
     epoch = t.epoch;
     reconfigs = t.reconfigs;
     fenced_drops = t.fenced_drops;
+    leases_held = t.leases_held;
   }
+
+(* The lease is a pure clock comparison: valid only on an unfenced
+   primary outside a joint-quorum window (a pending reconfiguration
+   makes "who must promise" ambiguous, so reads fall back to consensus
+   until it activates). *)
+let lease_valid (t : t) =
+  is_primary t && t.pending_members = None && Engine.now t.eng < t.lease_until
+
+let lease_until (t : t) = t.lease_until
+
+let revoke_lease (t : t) =
+  t.lease_until <- Time.zero;
+  t.hb_acks <- []
 
 let fire_demote t =
   (* A demoted proposer's in-flight batches are void: they may be
      superseded wholesale by the new primary's log merge, so counting
      them as committed later (when the index range happens to fill with
-     someone else's values) would corrupt the histogram. *)
+     someone else's values) would corrupt the histogram.  Its lease is
+     void too: whatever deposed it holds (or will hold) the quorum. *)
+  revoke_lease t;
   Queue.clear t.open_batches;
   t.handlers.on_demote ()
 
@@ -339,6 +379,26 @@ let tell (t : t) n msg =
   Fabric.send t.fabric ~src:(ep t.self) ~dst:(ep n)
     (Epoched { e = t.epoch; inner = msg })
 
+(* Primary-side lease grant: a quorum of acks for the current heartbeat
+   round extends the lease to that round's send instant plus
+   lease_duration.  [leases_held] counts invalid-to-valid transitions
+   (acquisitions), not per-round renewals. *)
+let maybe_grant_lease (t : t) =
+  if quorum_reached t t.hb_acks then begin
+    let until = t.hb_sent + t.cfg.lease_duration in
+    if until > t.lease_until then begin
+      if Engine.now t.eng >= t.lease_until then begin
+        t.leases_held <- t.leases_held + 1;
+        let tr = trace t in
+        if Trace.enabled tr then
+          Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+            ~node:t.self ~cat:"paxos" ~name:"lease_grant"
+            [ ("view", Trace.Int t.view); ("until", Trace.Int until) ]
+      end;
+      t.lease_until <- until
+    end
+  end
+
 let member_event (t : t) ~name args =
   let tr = trace t in
   if Trace.enabled tr then
@@ -387,6 +447,10 @@ let activate_config (t : t) ~epoch ~members =
     t.epoch <- epoch;
     t.members <- members;
     t.reconfigs <- t.reconfigs + 1;
+    (* A lease granted under the old membership's quorums says nothing
+       about the new configuration: drop it and re-earn one from the new
+       members' acks. *)
+    revoke_lease t;
     List.iter
       (fun n ->
         if not (List.mem n old) then begin
@@ -822,7 +886,12 @@ let rec heartbeat_loop t =
             Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
               ~node:t.self ~cat:"paxos" ~name:"heartbeat"
               [ ("view", Trace.Int t.view); ("committed", Trace.Int t.committed) ];
-          cast t (Heartbeat { hview = t.view; committed = t.committed });
+          t.hb_seq <- t.hb_seq + 1;
+          t.hb_sent <- Engine.now t.eng;
+          t.hb_acks <- [ t.self ];
+          (* A single-member configuration is its own quorum. *)
+          maybe_grant_lease t;
+          cast t (Heartbeat { hview = t.view; hseq = t.hb_seq; committed = t.committed });
           (* Retransmit the pending window.  An Accept lost in the fabric
              is never re-sent on its own, so the commit index would freeze
              at the hole while new proposals pile up behind it; re-casting
@@ -1048,7 +1117,7 @@ let handle (t : t) ~src msg =
         tell t from (Catchup_req { from_index = t.applied + 1 })
       else set_committed t committed
     end
-  | Heartbeat { hview; committed } ->
+  | Heartbeat { hview; hseq; committed } ->
     if hview > t.view then begin
       become_backup t ~nview:hview ~primary:(Some from);
       tell t from (Catchup_req { from_index = t.applied + 1 })
@@ -1057,8 +1126,11 @@ let handle (t : t) ~src msg =
       t.last_heartbeat <- Engine.now t.eng;
       t.vc_defers <- 0;
       (* Ack so the primary knows it still has quorum contact; the
-         applied index feeds its compaction watermark. *)
-      tell t from (Heartbeat_ok { hview; h_applied = t.applied });
+         applied index feeds its compaction watermark.  The ack is also a
+         lease promise: record its instant, and refuse election votes
+         until lease_duration past it (see View_change/Candidate). *)
+      t.last_hb_acked <- Engine.now t.eng;
+      tell t from (Heartbeat_ok { hview; hseq; h_applied = t.applied });
       if Some from <> t.primary then t.primary <- Some from;
       (if committed > t.committed then
          if committed > t.last_index then
@@ -1071,15 +1143,31 @@ let handle (t : t) ~src msg =
       if t.applied < t.committed && not (Hashtbl.mem t.log (t.applied + 1)) then
         tell t from (Catchup_req { from_index = t.applied + 1 })
     end
-  | Heartbeat_ok { hview; h_applied } ->
+  | Heartbeat_ok { hview; hseq; h_applied } ->
     (* Peer contact already noted above; a current-view ack also reports
        how far the peer has applied, driving the compaction watermark. *)
     if hview = t.view && is_primary t then begin
       Hashtbl.replace t.peer_applied from (h_applied, Engine.now t.eng);
+      (* Acks for an older round prove liveness but must not extend the
+         lease from the newer round's anchor. *)
+      if hseq = t.hb_seq && not (List.mem from t.hb_acks) then begin
+        t.hb_acks <- from :: t.hb_acks;
+        maybe_grant_lease t
+      end;
       maybe_compact t
     end
   | View_change { nview; cand_committed } ->
-    if nview > t.max_view_seen then begin
+    (* Lease disjointness, voter side: a node that acked a heartbeat
+       within lease_duration helped grant a read lease anchored no later
+       than that ack.  Voting for a new view inside the window could
+       elect a writer while the old primary still serves lease reads, so
+       the vote is withheld (the proposer's round_retry re-asks; an
+       election only ever starts after election_timeout > lease_duration
+       of silence, so a genuinely dead primary costs nothing here). *)
+    if
+      nview > t.max_view_seen
+      && Engine.now t.eng - t.last_hb_acked >= t.cfg.lease_duration
+    then begin
       t.max_view_seen <- nview;
       (* Back off our own competing election and defer to the caller —
          but only a few times in a row: past the bound the proposer is
@@ -1117,7 +1205,12 @@ let handle (t : t) ~src msg =
       end
     | Some _ | None -> ())
   | Candidate { nview } ->
-    if nview >= t.max_view_seen then begin
+    (* Same lease guard as View_change: a candidacy vote inside the
+       promise window could seat a new primary under a live lease. *)
+    if
+      nview >= t.max_view_seen
+      && Engine.now t.eng - t.last_hb_acked >= t.cfg.lease_duration
+    then begin
       t.max_view_seen <- nview;
       t.last_heartbeat <- Engine.now t.eng;
       tell t from (Candidate_ok { nview })
@@ -1294,6 +1387,14 @@ let recover_from_wal (t : t) =
   t.applied <- t.committed
 
 let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group () =
+  (* Lease safety needs lease_duration < election_timeout: a voter's
+     promise window must expire before any election it withheld a vote
+     from can be forced through.  Clamp rather than trust the caller. *)
+  let config =
+    if config.lease_duration >= config.election_timeout then
+      { config with lease_duration = config.election_timeout / 2 }
+    else config
+  in
   let t =
     {
       cfg = config;
@@ -1321,6 +1422,11 @@ let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group ()
       snapshot = None;
       peer_applied = Hashtbl.create 8;
       peer_heard = Hashtbl.create 8;
+      hb_seq = 0;
+      hb_sent = Time.zero;
+      hb_acks = [];
+      lease_until = Time.zero;
+      last_hb_acked = Time.zero;
       last_heartbeat = Time.zero;
       last_peer_contact = Time.zero;
       election = None;
@@ -1339,6 +1445,7 @@ let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group ()
       peak_log = 0;
       reconfigs = 0;
       fenced_drops = 0;
+      leases_held = 0;
       open_batches = Queue.create ();
       batches_committed = 0;
       batch_sizes = Hashtbl.create 16;

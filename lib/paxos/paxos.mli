@@ -37,6 +37,14 @@ type config = {
       (** failure detector: a member silent for this long is reported by
           {!suspects} (primary-side input to automated replacement).
           Default 5 s *)
+  lease_duration : Crane_sim.Time.t;
+      (** leader lease: how long a quorum of heartbeat acks entitles the
+          primary to serve linearizable reads locally, anchored at the
+          heartbeat's send instant.  Must be (and is clamped at creation
+          to stay) shorter than [election_timeout], so the promise a
+          backup makes by acking — withholding election votes for this
+          long — always expires before an election it stalled can
+          succeed.  Default 1.5 s *)
 }
 
 val default_config : config
@@ -166,6 +174,25 @@ val is_config_value : string -> bool
     delivery already does (a Reconfig activates instead of reaching
     [on_commit]). *)
 
+(** {2 Leader leases (read fast path)}
+
+    Every heartbeat round is numbered; when a quorum of the current
+    configuration acks the round, the primary holds a read lease from
+    the round's send instant for [config.lease_duration].  Acking is a
+    promise: the backup refuses View_change/Candidate votes until the
+    window passes, so no new primary can be seated (every election
+    quorum intersects the acking quorum) while a lease is live.  The
+    lease is revoked on demotion, fencing, abdication and configuration
+    activation, and is never valid during a joint-quorum window. *)
+
+val lease_valid : t -> bool
+(** True iff this node may serve a linearizable read locally right now:
+    unfenced primary, no reconfiguration pending, lease clock unexpired. *)
+
+val lease_until : t -> Crane_sim.Time.t
+(** Expiry instant of the current lease ([Time.zero] when none was ever
+    granted or it was revoked). *)
+
 val committed : t -> int
 (** Highest committed index (0 = nothing yet). *)
 
@@ -264,6 +291,9 @@ type stats = {
   reconfigs : int;  (** configuration activations on this node *)
   fenced_drops : int;
       (** stale-epoch messages from non-members this node rejected *)
+  leases_held : int;
+      (** lease acquisitions (invalid-to-valid transitions) on this node
+          — heartbeat-round renewals of a live lease do not count *)
 }
 
 val stats : t -> stats

@@ -26,6 +26,11 @@ type result = {
   errors : int;  (** requests that failed even after retries *)
   retries : int;  (** transient failures that were retried *)
   wall : Time.t;  (** total virtual duration of the run *)
+  read_latencies : Time.t list;
+      (** the [latencies] subset issued as fast-path reads (empty without
+          a read mix), completion order *)
+  write_latencies : Time.t list;
+      (** the [latencies] subset issued as writes, completion order *)
 }
 
 type handle = { collect : unit -> result; finished : unit -> bool }
@@ -34,12 +39,21 @@ let backoff_jitter ~seed ~from ~tries step =
   if step <= 0 then 0
   else Hashtbl.hash (seed, from, tries) mod (max 1 (step / 2))
 
+(* Read/write mix decision for one request: a pure hash of
+   (seed, client name, request number), like the retry jitter — no RNG
+   state, so fixed-seed runs stay byte-identical and the mix is stable
+   under retries (a retried read stays a read). *)
+let is_read ~seed ~from ~reqno read_pct =
+  Hashtbl.hash (seed, from, reqno, "mix") mod 100 < read_pct
+
 let run ?(name = "load") ?(think = Time.zero) ?(retries = 0)
-    ?(retry_backoff = Time.ms 50) ?(seed = 0) ~clients ~requests ~request
-    target =
+    ?(retry_backoff = Time.ms 50) ?(seed = 0) ?(read_pct = 95) ?read_request
+    ~clients ~requests ~request target =
   let remaining = ref requests in
   let latencies = ref [] in
   let completions = ref [] in
+  let read_lat = ref [] in
+  let write_lat = ref [] in
   let errors = ref 0 in
   let retried = ref 0 in
   let active = ref clients in
@@ -49,25 +63,40 @@ let run ?(name = "load") ?(think = Time.zero) ?(retries = 0)
   for c = 1 to clients do
     Engine.spawn eng ~name:(Printf.sprintf "%s-client%d" name c) (fun () ->
         let from = Printf.sprintf "%s-c%d" name c in
-        let rec attempt ~start tries =
-          match request target ~from with
+        let rec attempt ~start ~issue tries =
+          match issue target ~from with
           | Some (_ : string) ->
             let now = Engine.now eng in
             latencies := (now - start) :: !latencies;
-            completions := now :: !completions
+            completions := now :: !completions;
+            Some (now - start)
           | None ->
             if tries < retries then begin
               incr retried;
               let jitter = backoff_jitter ~seed ~from ~tries retry_backoff in
               Engine.sleep eng ((retry_backoff * (tries + 1)) + jitter);
-              attempt ~start (tries + 1)
+              attempt ~start ~issue (tries + 1)
             end
-            else incr errors
+            else begin
+              incr errors;
+              None
+            end
         in
         let rec loop () =
           if !remaining > 0 then begin
+            let reqno = !remaining in
             decr remaining;
-            attempt ~start:(Engine.now eng) 0;
+            (* The mix knob only engages when a read issuer is supplied:
+               write-only callers keep the exact pre-split behaviour. *)
+            let issue, mode_lat =
+              match read_request with
+              | Some rd when is_read ~seed ~from ~reqno read_pct ->
+                (rd, read_lat)
+              | Some _ | None -> (request, write_lat)
+            in
+            (match attempt ~start:(Engine.now eng) ~issue 0 with
+            | Some lat -> mode_lat := lat :: !mode_lat
+            | None -> ());
             if think > 0 then Engine.sleep eng think;
             loop ()
           end
@@ -85,6 +114,8 @@ let run ?(name = "load") ?(think = Time.zero) ?(retries = 0)
           errors = !errors;
           retries = !retried;
           wall = (match !finished with Some w -> w | None -> Engine.now eng - t0);
+          read_latencies = List.rev !read_lat;
+          write_latencies = List.rev !write_lat;
         });
     finished = (fun () -> !finished <> None);
   }

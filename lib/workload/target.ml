@@ -39,6 +39,27 @@ let cluster c ~port =
     fallbacks = (fun () -> Cluster.members c);
   }
 
+(** Read-port target preferring backup replicas: bounded-stale read
+    traffic lands on the idle replicas and falls back to whatever is
+    live (including the primary) when none are up. *)
+let cluster_backups c ~port =
+  {
+    eng = Cluster.engine c;
+    world = Cluster.world c;
+    port;
+    pick_node =
+      (fun () ->
+        match Cluster.backup_nodes c with
+        | n :: _ -> n
+        | [] -> (
+          match Cluster.primary_node c with
+          | Some n -> n
+          | None -> ( match Cluster.members c with n :: _ -> n | [] -> "replica1")));
+    fallbacks =
+      (fun () ->
+        match Cluster.backup_nodes c with [] -> Cluster.members c | bs -> bs);
+  }
+
 (** Connect to the service, retrying across nodes on refusal (a client
     finding the new primary after a failover — or, after a membership
     change, a freshly joined replacement).  None after [attempts]. *)

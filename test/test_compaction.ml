@@ -110,6 +110,7 @@ let compact_config ~threshold =
     compaction_threshold = threshold;
     catchup_chunk = 16;
     suspect_timeout = Paxos.default_config.suspect_timeout;
+    lease_duration = Time.ms 100;
   }
 
 let fold_state state v = Digest.to_hex (Digest.string (state ^ v))

@@ -51,6 +51,7 @@ let echo_server : Api.server =
           load_state = (fun s -> served := int_of_string s);
           mem_bytes = (fun () -> 1_000_000);
           stop = (fun () -> stopped := true);
+          read = (fun _ -> None);
         });
   }
 
@@ -63,6 +64,7 @@ let fast_paxos =
     compaction_threshold = Crane_paxos.Paxos.default_config.compaction_threshold;
     catchup_chunk = Crane_paxos.Paxos.default_config.catchup_chunk;
     suspect_timeout = Crane_paxos.Paxos.default_config.suspect_timeout;
+    lease_duration = Time.ms 150;
   }
 
 let test_cfg mode =

@@ -25,6 +25,7 @@ let fast_config =
     compaction_threshold = Crane_paxos.Paxos.default_config.compaction_threshold;
     catchup_chunk = Crane_paxos.Paxos.default_config.catchup_chunk;
     suspect_timeout = Paxos.default_config.suspect_timeout;
+    lease_duration = Time.ms 150;
   }
 
 let members = [ "n1"; "n2"; "n3" ]

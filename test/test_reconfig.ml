@@ -43,6 +43,7 @@ let fast_config =
     compaction_threshold = Paxos.default_config.compaction_threshold;
     catchup_chunk = Paxos.default_config.catchup_chunk;
     suspect_timeout = Time.ms 450;
+    lease_duration = Time.ms 150;
   }
 
 let boot_members = [ "n1"; "n2"; "n3" ]
@@ -229,6 +230,7 @@ let null_server : Api.server =
           load_state = (fun _ -> ());
           mem_bytes = (fun () -> 1_000);
           stop = (fun () -> ());
+          read = (fun _ -> None);
         });
   }
 
