@@ -257,6 +257,8 @@ type bench_run = {
   b_wal_writes : int;  (** durable writes on the primary's WAL *)
   b_batches : int;
   b_mean_batch : float;
+  b_hist : (int * int) list;  (** committed batch-size histogram (capped) *)
+  b_max_batch : int;  (** true observed max, unclamped *)
 }
 
 let commits_per_sec r =
@@ -302,7 +304,7 @@ let bench_run choice ~batch_max ~clients ~duration ~seed =
   done;
   Cluster.run ~until:(start + duration) cluster;
   Cluster.check_failures cluster;
-  let commits, batches, mean_batch =
+  let commits, batches, mean_batch, hist, max_batch =
     match Cluster.primary cluster with
     | Some (_, inst) ->
       let s = Paxos.stats inst.Instance.paxos in
@@ -312,8 +314,9 @@ let bench_run choice ~batch_max ~clients ~duration ~seed =
           (0, 0) s.Paxos.events_per_batch
       in
       ( Paxos.committed inst.Instance.paxos, s.Paxos.batches_committed,
-        if n = 0 then 0.0 else float_of_int events /. float_of_int n )
-    | None -> (0, 0, 0.0)
+        (if n = 0 then 0.0 else float_of_int events /. float_of_int n),
+        s.Paxos.events_per_batch, s.Paxos.max_batch )
+    | None -> (0, 0, 0.0, [], 0)
   in
   {
     b_commits = commits;
@@ -322,6 +325,8 @@ let bench_run choice ~batch_max ~clients ~duration ~seed =
     b_wal_writes = Wal.writes (Hashtbl.find cluster.Cluster.wals "replica1");
     b_batches = batches;
     b_mean_batch = mean_batch;
+    b_hist = hist;
+    b_max_batch = max_batch;
   }
 
 (* Fixed-seed equivalence probe: a sequential client (no response-latency
@@ -421,6 +426,17 @@ let bench_cmd quick seed out check servers =
            Printf.sprintf "%d" (u.b_wal_writes - b.b_wal_writes);
            string_of_bool identical ])
        results);
+  (* The histogram clamps at the cap, so its top bucket is a fold over
+     every larger size — label it "<cap>+" and report the true max. *)
+  (match results with
+  | (name, _, b, _, _) :: _ when b.b_hist <> [] ->
+    Table.print
+      ~title:
+        (Printf.sprintf "committed batch sizes (%s, batched run; max observed %d)"
+           name b.b_max_batch)
+      ~header:[ "events/batch"; "batches" ]
+      (Table.histogram_rows ~cap:Paxos.histogram_cap b.b_hist)
+  | _ -> ());
   let json =
     Printf.sprintf
       "{\n  \"bench\": \"batching\",\n  \"seed\": %d,\n  \"mode\": \"paxos-only\",\n  \
@@ -1306,6 +1322,488 @@ let bench_latency_cmd quick seed out check servers =
   end
   else 0
 
+(* ---- bench parallel: dependency-aware parallel delivery ---- *)
+
+module Certifier = Crane_analysis.Certifier
+module Api = Crane_core.Api
+
+type papp = PLedger | PMysql | PHttp
+
+let all_papps = [ ("ledger", PLedger); ("mysql", PMysql); ("http", PHttp) ]
+
+(* Compute-heavy variants: execute windows must overlap under the
+   1-lane baseline for the bench to measure the rotation stalls the
+   pool removes (a thread that becomes lane head mid-compute stalls the
+   whole lane until its next turn operation).  The apache profile's
+   70 ms pages would dominate the run wall-clock, so the http variant
+   uses smaller pages.  The mysql profile is weighted toward the
+   buffer-pool latch walk — many short critical sections, each a turn
+   operation.  Long uniform compute sleeps pipeline through one lane
+   almost losslessly (each thread gets a turn per rotation while the
+   others sleep), so it is exactly this op-dominated locking — the
+   paper's Figure 14 culprit — that a single lane serializes and a
+   per-lane pool recovers. *)
+let papp_server = function
+  | PLedger -> (Ledger.server, 80)
+  | PMysql ->
+    let cfg =
+      { Crane_apps.Mysql.default_config with
+        Crane_apps.Mysql.lookup_cost = Time.us 2000;
+        bufpool_ops = 20;
+        bufpool_op_cost = Time.us 30 }
+    in
+    (Crane_apps.Mysql.server ~cfg (), 3306)
+  | PHttp ->
+    let cfg =
+      { Crane_apps.Apache.default_config with
+        Crane_apps.Http_server.php_segments = 6;
+        segment_cost = Time.us 800 }
+    in
+    (Crane_apps.Http_server.make ~name:"http" ~cfg, 80)
+
+(* Per-request arrival period.  Clients fire their k-th request at a
+   fixed virtual instant (storm + (k-1) * cycle), so all clients'
+   commands commit — and want to execute — in the same window: the
+   1-lane baseline must interleave them through one rotation while the
+   pool spreads them over lanes.  The cycle leaves room for the
+   baseline's inflated windows; a slow request just slips its client's
+   schedule without affecting the others'. *)
+let papp_cycle = function
+  | PLedger -> Time.ms 10
+  | PMysql -> Time.ms 25
+  | PHttp -> Time.ms 35
+
+(* Per-client phase offset within a cycle.  One lane only starves a
+   thread when its short turn-taking ops (latch walks) rotate behind
+   other threads' long compute sleeps; identical clients fired in
+   lockstep move through those phases together and pipeline instead.
+   A large mysql stagger makes one client's latch walk overlap the
+   others' B-tree segments — the collision the pool dissolves. *)
+let papp_stagger = function
+  | PLedger | PHttp -> Time.us 13
+  | PMysql -> Time.us 700
+
+(* One request of client [c]'s deterministic sequence.  All three
+   workloads are read-only on disjoint (or read-shared) footprints, so
+   the pooled schedule's responses cannot depend on cross-client
+   interleaving — which is what lets the byte-identity probe demand
+   pool-on and pool-off transcripts be equal. *)
+let papp_issue app ~target ~c ~k ~from =
+  match app with
+  | PLedger -> Ledger.consensus_get target ~from
+  | PMysql -> (
+    let table = 1 + ((c - 1) mod 16) in
+    let id = 1 + ((37 * c) + (11 * k) mod 2000) in
+    match Target.connect target ~from with
+    | None -> None
+    | Some conn ->
+      let result =
+        match
+          Clients.read_until conn ~stop:(fun r ->
+              Crane_apps.Str_util.find_sub r "ready" <> None)
+        with
+        | None -> None
+        | Some _banner ->
+          Sock.send conn (Printf.sprintf "SELECT c FROM sbtest%d WHERE id=%d\n" table id);
+          Clients.read_until conn ~stop:(fun r ->
+              Crane_apps.Str_util.find_sub r "\n" <> None)
+      in
+      Sock.close conn;
+      result)
+  | PHttp ->
+    let path =
+      if k mod 3 = 0 then Printf.sprintf "/static/page%d.html" c
+      else "/test.php"
+    in
+    Clients.http_request target ~from ~meth:"GET" ~path ()
+
+type parallel_run = {
+  pr_exec_mean : float;  (** mean execute-stage latency, virtual ns *)
+  pr_e2e_mean : float;
+  pr_ok : int;
+  pr_errors : int;
+  pr_outputs : string;  (** canonical per-client transcript, times stripped *)
+  pr_state : string;  (** primary's application state at the end *)
+  pr_cert : Certifier.report;
+  pr_committed : int;
+}
+
+let parallel_run app ~pool ~clients ~per_client ~seed =
+  let server, port = papp_server app in
+  let tr = Trace.create () in
+  let cfg =
+    { Instance.default_config with mode = Instance.Full; service_port = port;
+      paxos = fast_paxos; pool_workers = pool }
+  in
+  let cluster = Cluster.create ~seed ~cfg ~trace:tr ~server () in
+  Cluster.start ~checkpoints:false cluster;
+  let eng = Cluster.engine cluster in
+  let target = Target.cluster cluster ~port in
+  (* Let the election settle so every measured request rides a stable
+     primary. *)
+  Cluster.run ~until:(Time.ms 800) cluster;
+  (* Ledger: seed a fixed prefix sequentially, so the GET storm reads
+     stable data (and the PUT/barrier admission path runs under the
+     pool too). *)
+  (match app with
+  | PLedger ->
+    let seeded = ref false in
+    Engine.spawn eng ~name:"par-seed" (fun () ->
+        let lc = Ledger.client () in
+        for _ = 1 to 6 do
+          ignore (Ledger.request lc target ~from:"par-seed")
+        done;
+        seeded := true);
+    let rec settle () =
+      if (not !seeded) && Engine.now eng < Time.sec 60 then begin
+        Cluster.run ~until:(Engine.now eng + Time.ms 100) cluster;
+        settle ()
+      end
+    in
+    settle ()
+  | PMysql | PHttp -> ());
+  let storm_at = Engine.now eng + Time.ms 200 in
+  let transcripts = Array.make (clients + 1) [] in
+  let errors = ref 0 and ok = ref 0 and live = ref clients in
+  for c = 1 to clients do
+    Engine.spawn eng ~name:(Printf.sprintf "par-client%d" c) (fun () ->
+        let from = Printf.sprintf "par-c%d" c in
+        let cycle = papp_cycle app in
+        let stagger = papp_stagger app in
+        for k = 1 to per_client do
+          (* Absolute, staggered fire instants: the arrival schedule is
+             a pure function of the seed phase, not of response
+             latencies. *)
+          Engine.sleep eng
+            (max 0
+               (storm_at + ((k - 1) * cycle) + (c * stagger)
+               - Engine.now eng));
+          (match papp_issue app ~target ~c ~k ~from with
+          | Some r ->
+            incr ok;
+            transcripts.(c) <- Output_log.normalize_payload r :: transcripts.(c)
+          | None ->
+            incr errors;
+            transcripts.(c) <- "<fail>" :: transcripts.(c))
+        done;
+        decr live)
+  done;
+  let deadline = Engine.now eng + Time.sec 600 in
+  let rec go () =
+    if !live > 0 && Engine.now eng < deadline then begin
+      Cluster.run ~until:(Engine.now eng + Time.ms 500) cluster;
+      go ()
+    end
+  in
+  go ();
+  (* Drain trailing closes so the last execute windows end before
+     analysis. *)
+  Cluster.run ~until:(Engine.now eng + Time.ms 500) cluster;
+  Cluster.check_failures cluster;
+  let cp = Critical_path.analyze tr in
+  (* The delivery stage under test is commit -> reply: admission wait
+     plus execution.  The raw execute window (admit -> reply) is blind
+     to the 1-lane baseline's cost by construction — legacy admits a
+     command only when its connection's thread consumes it from the
+     sequence head, so head-of-line queueing behind a busy connection
+     is charged to sched_wait and the late-admitted window still spans
+     just the solo compute.  Gating on the sum keeps both modes on the
+     same anchors. *)
+  let stage_mean name =
+    match
+      List.find_opt (fun s -> s.Critical_path.stage = name) cp.Critical_path.stages
+    with
+    | Some s -> s.Critical_path.summary.Metrics.mean
+    | None -> 0.0
+  in
+  let exec_mean = stage_mean "sched_wait" +. stage_mean "execute" in
+  let state, committed =
+    match Cluster.primary cluster with
+    | Some (_, inst) ->
+      (inst.Instance.handle.Api.state_of (), Paxos.committed inst.Instance.paxos)
+    | None -> ("", 0)
+  in
+  if Sys.getenv_opt "CRANE_PAR_DEBUG" <> None then begin
+    let pname =
+      match Cluster.primary cluster with Some (n, _) -> n | None -> ""
+    in
+    let resolve = Crane_trace.Trace.resolve_node tr in
+    let admits = ref [] and replies = ref [] in
+    List.iter
+      (fun (ev : Crane_trace.Trace.ev) ->
+        let node = resolve ev in
+        if node = pname then
+          match (ev.Crane_trace.Trace.cat, ev.Crane_trace.Trace.name) with
+          | "seq", "admit" ->
+            let ix =
+              Option.value (Crane_trace.Trace.find_int ev "index") ~default:0
+            and conn =
+              Option.value (Crane_trace.Trace.find_int ev "conn") ~default:(-1)
+            in
+            admits := (ev.Crane_trace.Trace.ts, ix, conn) :: !admits
+          | "req", "reply" ->
+            let conn =
+              Option.value (Crane_trace.Trace.find_int ev "conn") ~default:(-1)
+            in
+            replies := (ev.Crane_trace.Trace.ts, conn) :: !replies
+          | "exec", "begin" ->
+            Printf.eprintf "exec.begin ts=%d ix=%d conn=%d lane=%d\n"
+              ev.Crane_trace.Trace.ts
+              (Option.value (Crane_trace.Trace.find_int ev "index") ~default:0)
+              (Option.value (Crane_trace.Trace.find_int ev "conn") ~default:(-1))
+              (Option.value (Crane_trace.Trace.find_int ev "lane") ~default:(-1))
+          | _ -> ())
+      (Crane_trace.Trace.events tr);
+    let admits = List.rev !admits and replies = List.rev !replies in
+    Printf.eprintf "-- windows (pool=%d) --\n" pool;
+    List.iter
+      (fun (ats, ix, conn) ->
+        match
+          List.find_opt (fun (rts, rc) -> rc = conn && rts >= ats) replies
+        with
+        | Some (rts, _) ->
+          Printf.eprintf "ix=%d conn=%d admit=%d reply=%d win=%dus\n" ix conn
+            ats rts ((rts - ats) / 1000)
+        | None -> Printf.eprintf "ix=%d conn=%d admit=%d reply=-\n" ix conn ats)
+      admits
+  end;
+  let outputs =
+    String.concat "\x00"
+      (List.mapi
+         (fun c t ->
+           Printf.sprintf "c%d:%s" c (String.concat "|" (List.rev t)))
+         (Array.to_list transcripts))
+  in
+  {
+    pr_exec_mean = exec_mean;
+    pr_e2e_mean = cp.Critical_path.e2e.Metrics.mean;
+    pr_ok = !ok;
+    pr_errors = !errors;
+    pr_outputs = outputs;
+    pr_state = state;
+    pr_cert = Certifier.check tr;
+    pr_committed = committed;
+  }
+
+let parallel_side_json (r : parallel_run) =
+  Printf.sprintf
+    "{\"commit_reply_mean_ns\": %.0f, \"e2e_mean_ns\": %.0f, \"ok\": %d, \
+     \"errors\": %d, \"committed\": %d, \"cert_windows\": %d, \
+     \"cert_commands\": %d, \"cert_locations\": %d, \"cert_confined\": %d, \
+     \"cert_violations\": %d}"
+    r.pr_exec_mean r.pr_e2e_mean r.pr_ok r.pr_errors r.pr_committed
+    r.pr_cert.Certifier.windows r.pr_cert.Certifier.commands
+    r.pr_cert.Certifier.locations r.pr_cert.Certifier.confined
+    (List.length r.pr_cert.Certifier.violations)
+
+let bench_parallel_cmd quick seed out check apps =
+  let chosen =
+    match apps with
+    | [] -> all_papps
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n all_papps with
+          | Some a -> (n, a)
+          | None ->
+            Printf.eprintf "crane: unknown app %s (ledger|mysql|http)\n" n;
+            exit 2)
+        names
+  in
+  let clients = 8 and workers = 4 in
+  let per_client = if quick then 6 else 16 in
+  let results =
+    List.map
+      (fun (name, app) ->
+        Printf.printf "parallel %s: pool off..." name;
+        flush stdout;
+        let serial = parallel_run app ~pool:1 ~clients ~per_client ~seed in
+        Printf.printf " pool x%d..." workers;
+        flush stdout;
+        let pooled = parallel_run app ~pool:workers ~clients ~per_client ~seed in
+        let speedup =
+          if pooled.pr_exec_mean > 0.0 then
+            serial.pr_exec_mean /. pooled.pr_exec_mean
+          else 0.0
+        in
+        let outputs_identical = String.equal serial.pr_outputs pooled.pr_outputs in
+        let state_identical = String.equal serial.pr_state pooled.pr_state in
+        let certified = Certifier.certified pooled.pr_cert in
+        Printf.printf " %.2fx%s%s\n" speedup
+          (if outputs_identical && state_identical then "" else " (OUTPUTS DIVERGE)")
+          (if certified then "" else " (CERTIFIER VIOLATIONS)");
+        if not certified then print_string (Certifier.render pooled.pr_cert);
+        (name, serial, pooled, speedup, outputs_identical && state_identical, certified))
+      chosen
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "parallel delivery bench (%d clients, %d workers, crane mode)"
+         clients workers)
+    ~header:
+      [ "app"; "commit-reply off us"; "commit-reply on us"; "speedup";
+        "e2e off us"; "e2e on us"; "identical"; "certified" ]
+    (List.map
+       (fun (name, s, p, speedup, identical, certified) ->
+         [ name;
+           Printf.sprintf "%.1f" (s.pr_exec_mean /. 1e3);
+           Printf.sprintf "%.1f" (p.pr_exec_mean /. 1e3);
+           Printf.sprintf "%.2fx" speedup;
+           Printf.sprintf "%.1f" (s.pr_e2e_mean /. 1e3);
+           Printf.sprintf "%.1f" (p.pr_e2e_mean /. 1e3);
+           string_of_bool identical;
+           Printf.sprintf "%b (%d cmds, %d locs)" certified
+             p.pr_cert.Certifier.commands p.pr_cert.Certifier.locations ])
+       results);
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"parallel\",\n  \"seed\": %d,\n  \"mode\": \"crane\",\n  \
+       \"clients\": %d,\n  \"workers\": %d,\n  \"per_client\": %d,\n  \
+       \"results\": [\n%s\n  ]\n}\n"
+      seed clients workers per_client
+      (String.concat ",\n"
+         (List.map
+            (fun (name, s, p, speedup, identical, certified) ->
+              Printf.sprintf
+                "    {\"app\": \"%s\", \"serial\": %s, \"pooled\": %s, \
+                 \"speedup\": %.2f, \"fixed_seed_outputs_identical\": %b, \
+                 \"certified\": %b}"
+                (json_escape name) (parallel_side_json s) (parallel_side_json p)
+                speedup identical certified)
+            results))
+  in
+  (match open_out out with
+  | oc ->
+    output_string oc json;
+    close_out oc;
+    Printf.printf "wrote %s\n" out
+  | exception Sys_error msg ->
+    Printf.eprintf "crane: cannot write %s: %s\n" out msg;
+    exit 1);
+  match check with
+  | None -> 0
+  | Some bound ->
+    let best =
+      List.fold_left (fun acc (_, _, _, s, _, _) -> max acc s) 0.0 results
+    in
+    let all_identical = List.for_all (fun (_, _, _, _, i, _) -> i) results in
+    let all_certified = List.for_all (fun (_, _, _, _, _, c) -> c) results in
+    let errors =
+      List.fold_left
+        (fun acc (_, s, p, _, _, _) -> acc + s.pr_errors + p.pr_errors)
+        0 results
+    in
+    if best >= bound && all_identical && all_certified && errors = 0 then begin
+      Printf.printf
+        "CHECK OK: best execute speedup %.2fx (bound %.1fx), outputs \
+         identical, schedules certified, 0 errors\n"
+        best bound;
+      0
+    end
+    else begin
+      Printf.printf
+        "CHECK FAIL: best=%.2fx (bound %.1f) identical=%b certified=%b \
+         errors=%d\n"
+        best bound all_identical all_certified errors;
+      1
+    end
+
+(* ---- bench drift: compare a fresh bench JSON against the committed
+   baseline ---- *)
+
+(* Scan [key]: <float> occurrences out of a bench JSON.  The bench
+   writers emit a fixed flat format (see the Printf.sprintf calls
+   above), so plain string scanning is enough — no JSON parser in the
+   toolchain, and none needed. *)
+let scan_floats ~key text =
+  let needle = "\"" ^ key ^ "\":" in
+  let nlen = String.length needle and len = String.length text in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i + nlen <= len do
+    if String.sub text !i nlen = needle then begin
+      let j = ref (!i + nlen) in
+      while !j < len && text.[!j] = ' ' do incr j done;
+      let k = ref !j in
+      while
+        !k < len
+        && (match text.[!k] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+      do
+        incr k
+      done;
+      (match float_of_string_opt (String.sub text !j (!k - !j)) with
+      | Some f -> out := f :: !out
+      | None -> ());
+      i := !k
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let drift_metric text =
+  (* Headline metric per bench kind: the min per-result speedup for
+     batching/parallel, the offload ratio for readmix. *)
+  let has kind =
+    let needle = Printf.sprintf "\"bench\": \"%s\"" kind in
+    let nlen = String.length needle in
+    let rec find i =
+      if i + nlen > String.length text then false
+      else if String.sub text i nlen = needle then true
+      else find (i + 1)
+    in
+    find 0
+  in
+  if has "readmix" then
+    match scan_floats ~key:"offload_ratio" text with
+    | r :: _ -> Some ("offload_ratio", r)
+    | [] -> None
+  else if has "batching" || has "parallel" then
+    match scan_floats ~key:"speedup" text with
+    | [] -> None
+    | l -> Some ("min speedup", List.fold_left min infinity l)
+  else None
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+  | exception Sys_error _ -> None
+
+let bench_drift_cmd baseline current tolerance =
+  match (read_file baseline, read_file current) with
+  | None, _ ->
+    Printf.eprintf "crane: cannot read baseline %s\n" baseline;
+    2
+  | _, None ->
+    Printf.eprintf "crane: cannot read current %s\n" current;
+    2
+  | Some b, Some c -> (
+    match (drift_metric b, drift_metric c) with
+    | Some (kb, vb), Some (kc, vc) when kb = kc ->
+      let floor = vb *. (1.0 -. tolerance) in
+      if vc >= floor then begin
+        Printf.printf
+          "drift ok: %s %.3f vs baseline %.3f (floor %.3f, tolerance %.0f%%)\n"
+          kb vc vb floor (100. *. tolerance);
+        0
+      end
+      else begin
+        Printf.printf
+          "DRIFT: %s regressed to %.3f from baseline %.3f (floor %.3f, \
+           tolerance %.0f%%)\n"
+          kb vc vb floor (100. *. tolerance);
+        1
+      end
+    | _ ->
+      Printf.eprintf
+        "crane: cannot extract a comparable headline metric from %s and %s\n"
+        baseline current;
+      2)
+
 (* ---- cmdliner plumbing ---- *)
 
 let server_arg =
@@ -1459,6 +1957,43 @@ let bench_latency_term =
   Term.(const bench_latency_cmd $ quick_arg $ seed_arg $ latency_out_arg
         $ latency_check_arg $ bench_servers_arg)
 
+let parallel_out_arg =
+  Arg.(value & opt string "BENCH_parallel.json"
+       & info [ "out"; "o" ] ~doc:"Benchmark JSON output file.")
+
+let parallel_check_arg =
+  Arg.(value & opt (some float) None
+       & info [ "check" ] ~docv:"SPEEDUP"
+           ~doc:"Exit nonzero unless some app's execute-stage speedup at 4 \
+                 workers reaches this factor, fixed-seed outputs are identical \
+                 pool-on vs pool-off, and the certifier finds the pooled \
+                 schedule conflict-serializable with zero violations.")
+
+let parallel_apps_arg =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"APP" ~doc:"Apps to bench: ledger, mysql, http (default: all).")
+
+let bench_parallel_term =
+  Term.(const bench_parallel_cmd $ quick_arg $ seed_arg $ parallel_out_arg
+        $ parallel_check_arg $ parallel_apps_arg)
+
+let drift_baseline_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"BASELINE" ~doc:"Committed baseline bench JSON.")
+
+let drift_current_arg =
+  Arg.(required & pos 1 (some string) None
+       & info [] ~docv:"CURRENT" ~doc:"Freshly produced bench JSON.")
+
+let drift_tolerance_arg =
+  Arg.(value & opt float 0.2
+       & info [ "tolerance" ]
+           ~doc:"Allowed fractional regression of the headline metric (0.2 = 20%).")
+
+let bench_drift_term =
+  Term.(const bench_drift_cmd $ drift_baseline_arg $ drift_current_arg
+        $ drift_tolerance_arg)
+
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run a workload against a server in a chosen deployment mode.") run_term;
@@ -1492,7 +2027,20 @@ let cmds =
              ~doc:"Measure commit-path offload of lease/bounded-stale reads \
                    vs all-consensus reads on a read-heavy mix; write \
                    BENCH_readmix.json.")
-          bench_readmix_term ];
+          bench_readmix_term;
+        Cmd.v
+          (Cmd.info "parallel"
+             ~doc:"Measure execute-stage speedup of dependency-aware parallel \
+                   delivery (worker pool on vs off) with the byte-identity \
+                   probe and the Crane-San schedule certifier; write \
+                   BENCH_parallel.json.")
+          bench_parallel_term;
+        Cmd.v
+          (Cmd.info "drift"
+             ~doc:"Compare a fresh bench JSON's headline metric against a \
+                   committed baseline; exit nonzero on regression beyond the \
+                   tolerance.")
+          bench_drift_term ];
     Cmd.v
       (Cmd.info "profile"
          ~doc:"Commit critical-path profile: per-stage latency decomposition, \

@@ -112,6 +112,7 @@ let bank : Api.server =
           mem_bytes = (fun () -> 500_000);
           stop = ignore;
           read = (fun _ -> None);
+          footprint = (fun _ -> None);
         });
   }
 

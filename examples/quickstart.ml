@@ -50,6 +50,7 @@ let greeter : Api.server =
           mem_bytes = (fun () -> 1_000_000);
           stop = ignore;
           read = (fun _ -> None);
+          footprint = (fun _ -> None);
         });
   }
 

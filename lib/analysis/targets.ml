@@ -44,6 +44,7 @@ let racy_counter () : Api.server =
       mem_bytes = (fun () -> 4096);
       stop = (fun () -> ());
       read = (fun _ -> None);
+      footprint = (fun _ -> None);
     }
   in
   { Api.name = "racy-counter"; install = (fun _ -> ()); boot }

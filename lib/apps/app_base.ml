@@ -97,4 +97,31 @@ module Make (R : Api.API) = struct
     let get t = R.cell_get t.n
     let set t v = R.cell_set t.n v
   end
+
+  (* Counter sharded per worker thread: each shard cell is touched by
+     exactly one worker, so incrementing it creates no cross-command
+     shared location — the conflict-serializability certifier treats
+     thread-confined locations as exempt, and the dependency-aware gate
+     can run footprint-disjoint requests in parallel without a hidden
+     stats-counter conflict.  [get]/[set] (checkpoint state) run at
+     quiescence, outside any request window. *)
+  module Sharded_counter = struct
+    type t = { shards : int R.cell array }
+
+    let create ?(name = "counter") ~shards () =
+      {
+        shards =
+          Array.init (max 1 shards) (fun i ->
+              R.cell ~name:(Printf.sprintf "%s.%d" name i) 0);
+      }
+
+    let incr t ~shard =
+      let c = t.shards.(shard mod Array.length t.shards) in
+      R.cell_set c (R.cell_get c + 1)
+
+    let get t = Array.fold_left (fun acc c -> acc + R.cell_get c) 0 t.shards
+
+    let set t v =
+      Array.iteri (fun i c -> R.cell_set c (if i = 0 then v else 0)) t.shards
+  end
 end

@@ -157,6 +157,7 @@ let server ?(cfg = default_config) () : Api.server =
           R.cell_set stopped true;
           B.Worklist.close worklist);
       read = (fun _ -> None);
+      footprint = (fun _ -> None);
     }
   in
   { Api.name = "clamav"; install = install_tree cfg; boot }

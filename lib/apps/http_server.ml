@@ -37,7 +37,9 @@ let make ~name ~(cfg : config) : Api.server =
   let boot api =
     let module R = (val api : Api.API) in
     let module B = App_base.Make (R) in
-    let served = B.Counter.create ~name:(name ^ ".served") () in
+    let served =
+      B.Sharded_counter.create ~name:(name ^ ".served") ~shards:cfg.nworkers ()
+    in
     let stopped = R.cell ~name:(name ^ ".stopped") false in
     let worklist = B.Worklist.create ~name:(name ^ ".worklist") () in
     (* Soft barrier initialized in main() — hint line 1. *)
@@ -46,7 +48,7 @@ let make ~name ~(cfg : config) : Api.server =
         Some (R.soft_barrier ~n:cfg.nworkers ~timeout_ticks:cfg.hint_timeout_ticks)
       else None
     in
-    let handle_request conn (req : Httpkit.request) arena =
+    let handle_request conn (req : Httpkit.request) arena ~shard =
       match req.Httpkit.meth with
       | "GET" ->
         (* Hint line 2: line up the PHP interpretations. *)
@@ -57,20 +59,20 @@ let make ~name ~(cfg : config) : Api.server =
             (* Interpret the page: the expensive parallel computation. *)
             B.staged_compute ~salt:(R.conn_id conn) ~arena
               ~segments:cfg.php_segments ~segment_cost:cfg.segment_cost ();
-          B.Counter.incr served;
+          B.Sharded_counter.incr served ~shard;
           B.http_respond conn ~status:200 (Memfs.read_exn R.fs ~path:page)
         end
         else begin
-          B.Counter.incr served;
+          B.Sharded_counter.incr served ~shard;
           B.http_respond conn ~status:404 "404 Not Found"
         end
       | "PUT" ->
         Memfs.write R.fs ~path:(cfg.docroot ^ req.Httpkit.path) req.Httpkit.body;
-        B.Counter.incr served;
+        B.Sharded_counter.incr served ~shard;
         B.http_respond conn ~status:201 "Created"
       | "DELETE" ->
         Memfs.delete R.fs ~path:(cfg.docroot ^ req.Httpkit.path);
-        B.Counter.incr served;
+        B.Sharded_counter.incr served ~shard;
         B.http_respond conn ~status:200 "Deleted"
       | _ -> B.http_respond conn ~status:500 "unsupported method"
     in
@@ -84,14 +86,13 @@ let make ~name ~(cfg : config) : Api.server =
           let rec serve () =
             match B.read_http conn with
             | Some req ->
-              handle_request conn req arena;
+              handle_request conn req arena ~shard:(i - 1);
               serve ()
             | None -> R.close conn
           in
           serve ();
           loop ()
       in
-      ignore i;
       loop ()
     in
     R.spawn ~name:(name ^ "-listener") (fun () ->
@@ -106,8 +107,8 @@ let make ~name ~(cfg : config) : Api.server =
     done;
     {
       Api.server_name = name;
-      state_of = (fun () -> string_of_int (B.Counter.get served));
-      load_state = (fun s -> B.Counter.set served (int_of_string s));
+      state_of = (fun () -> string_of_int (B.Sharded_counter.get served));
+      load_state = (fun s -> B.Sharded_counter.set served (int_of_string s));
       mem_bytes = (fun () -> cfg.mem_bytes);
       stop =
         (fun () ->
@@ -130,6 +131,20 @@ let make ~name ~(cfg : config) : Api.server =
                   (Httpkit.response ~now ~status:200
                      (Memfs.read_exn R.fs ~path:page))
               else Some (Httpkit.response ~now ~status:404 "404 Not Found")
+            | Some _ | None -> None);
+      footprint =
+        (fun raw ->
+          (* One request touches one document-root path; the PHP
+             interpreter's arena lock is per-worker and the served
+             counter is sharded, so distinct paths really are disjoint.
+             Incomplete requests (split across sends) stay undeclared. *)
+          if not (Httpkit.is_complete raw) then None
+          else
+            match Httpkit.parse_request raw with
+            | Some { Httpkit.meth = "GET"; path; _ } ->
+              Some { Api.fp_reads = [ cfg.docroot ^ path ]; fp_writes = [] }
+            | Some { Httpkit.meth = "PUT" | "DELETE"; path; _ } ->
+              Some { Api.fp_reads = []; fp_writes = [ cfg.docroot ^ path ] }
             | Some _ | None -> None);
     }
   in

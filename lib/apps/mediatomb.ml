@@ -135,6 +135,7 @@ let server ?(cfg = default_config) () : Api.server =
           R.cell_set stopped true;
           B.Worklist.close worklist);
       read = (fun _ -> None);
+      footprint = (fun _ -> None);
     }
   in
   { Api.name = "mediatomb"; install; boot }

@@ -54,7 +54,9 @@ let server ?(cfg = default_config) () : Api.server =
   let boot api =
     let module R = (val api : Api.API) in
     let module B = App_base.Make (R) in
-    let queries = B.Counter.create ~name:"mysqld.queries" () in
+    let queries =
+      B.Sharded_counter.create ~name:"mysqld.queries" ~shards:cfg.nworkers ()
+    in
     let stopped = R.cell ~name:"mysqld.stopped" false in
     let worklist = B.Worklist.create ~name:"mysqld.worklist" () in
     let db = ref (Sqlkit.create_db ()) in
@@ -68,13 +70,24 @@ let server ?(cfg = default_config) () : Api.server =
       Hashtbl.replace table_mu (table_name k) (R.mutex ~name:(table_name k ^ ".meta") ());
       Hashtbl.replace table_rw (table_name k) (R.rwlock ~name:(table_name k ^ ".rows") ())
     done;
-    let bufpool = R.mutex ~name:"mysqld.bufpool" () in
-    let bufpool_walk () =
-      for _ = 1 to cfg.bufpool_ops do
-        R.lock bufpool;
-        R.work cfg.bufpool_op_cost;
-        R.unlock bufpool
-      done
+    (* Buffer-pool latches partitioned per table (in the spirit of
+       innodb_buffer_pool_instances): statements on distinct tables share
+       no latch, which is what lets the dependency-aware delivery layer
+       run them on separate lanes without lock-order conflicts. *)
+    let bufpool = Hashtbl.create 16 in
+    for k = 1 to cfg.ntables do
+      Hashtbl.replace bufpool (table_name k)
+        (R.mutex ~name:("mysqld.bufpool." ^ table_name k) ())
+    done;
+    let bufpool_walk tbl =
+      match Hashtbl.find_opt bufpool tbl with
+      | None -> ()
+      | Some mu ->
+        for _ = 1 to cfg.bufpool_ops do
+          R.lock mu;
+          R.work cfg.bufpool_op_cost;
+          R.unlock mu
+        done
     in
     (* B-tree descent: page-sized compute steps with latch operations in
        between (InnoDB pins/unpins a page per level). *)
@@ -92,7 +105,7 @@ let server ?(cfg = default_config) () : Api.server =
           R.lock mu;
           R.unlock mu;
           R.rdlock rw;
-          bufpool_walk ();
+          bufpool_walk tbl;
           lookup_walk ~arena ~salt:id;
           let result =
             match Sqlkit.table !db tbl with
@@ -110,7 +123,7 @@ let server ?(cfg = default_config) () : Api.server =
           R.lock mu;
           R.unlock mu;
           R.wrlock rw;
-          bufpool_walk ();
+          bufpool_walk tbl;
           lookup_walk ~arena ~salt:id;
           (match Sqlkit.table !db tbl with
           | Some t -> Sqlkit.update t ~id ~value
@@ -120,6 +133,10 @@ let server ?(cfg = default_config) () : Api.server =
         | _, _ -> "ERROR unknown table\n")
     in
     let worker i =
+      (* Bind the shard before [serve]: the inner match on [find_sub]
+         shadows [i] with the newline offset, and two workers landing on
+         the same shard cell would break its thread confinement. *)
+      let shard = i - 1 in
       let arena = R.mutex ~name:(Printf.sprintf "mysqld.arena%d" i) () in
       let rec loop () =
         match B.Worklist.get worklist with
@@ -139,7 +156,7 @@ let server ?(cfg = default_config) () : Api.server =
               Buffer.add_string buf rest;
               (match Sqlkit.parse_stmt line with
               | Some stmt ->
-                B.Counter.incr queries;
+                B.Sharded_counter.incr queries ~shard;
                 R.send conn (run_stmt ~arena stmt)
               | None -> if String.trim line <> "" then R.send conn "ERROR syntax\n");
               serve ()
@@ -170,12 +187,13 @@ let server ?(cfg = default_config) () : Api.server =
       Api.server_name = "mysql";
       state_of =
         (fun () ->
-          Printf.sprintf "%d|%s" (B.Counter.get queries) (Sqlkit.serialize !db));
+          Printf.sprintf "%d|%s" (B.Sharded_counter.get queries)
+            (Sqlkit.serialize !db));
       load_state =
         (fun s ->
           match String.index_opt s '|' with
           | Some i ->
-            B.Counter.set queries (int_of_string (String.sub s 0 i));
+            B.Sharded_counter.set queries (int_of_string (String.sub s 0 i));
             db := Sqlkit.deserialize (String.sub s (i + 1) (String.length s - i - 1))
           | None -> ());
       mem_bytes = (fun () -> cfg.mem_bytes);
@@ -198,6 +216,19 @@ let server ?(cfg = default_config) () : Api.server =
               | None -> Some "empty set\n")
             | None -> Some "ERROR unknown table\n")
           | Some (Sqlkit.Update _) | None -> None);
+      footprint =
+        (fun line ->
+          (* Every statement on a table — SELECT included — acquires its
+             metadata mutex and buffer-pool latch, lock-order conflicts
+             the certifier would (rightly) flag; so same-table statements
+             serialize and the footprint declares the table written either
+             way.  Parallelism comes from statements on distinct tables,
+             which share no lock or row. *)
+          match Sqlkit.parse_stmt (String.trim line) with
+          | Some (Sqlkit.Select { tbl; _ }) | Some (Sqlkit.Update { tbl; _ })
+            ->
+            Some { Api.fp_reads = []; fp_writes = [ tbl ] }
+          | None -> None);
     }
   in
   { Api.name = "mysql"; install = install cfg; boot }

@@ -110,6 +110,15 @@ type scenario = {
       (** the scenario is built so that a replica falls behind the
           compaction watermark: the run must recover it through the
           snapshot catch-up path (at least one snapshot install) *)
+  lease_fence : bool;
+      (** arm the lease-fence prober: from the moment the schedule
+          partitions the primary, a dedicated thread hammers the
+          ex-primary's read port starting [lease_duration] after the cut
+          and until heal.  Any fast read still served in [`Lease] mode in
+          that window violates the [lease-fencing] invariant — the
+          isolated primary lost its heartbeat-ack quorum, so its lease
+          must lapse on its own, well before the [suspect_timeout]
+          failure detector would notice the partition *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -139,6 +148,12 @@ type report = {
   r_backup_reads : int;  (** bounded-stale reads served by backup proxies *)
   r_lease_rejects : int;  (** fast-path reads refused (no lease / fenced) *)
   r_read_obs : int;  (** read-burst observations audited by the checker *)
+  r_seq_peak : int;
+      (** deepest PAXOS-sequence backlog seen on any live replica *)
+  r_seq_peak_view : int;
+      (** view that peak is attributed to — [Paxos_seq.max_depth] resets
+          on view change, so a report never carries a stale peak from a
+          previous primary's burst regime *)
   r_checkpoints_skipped : int;  (** rounds abandoned: connections never drained *)
   r_acked : int;
   r_ok : int;
@@ -199,6 +214,7 @@ let render_report r =
   line "read fast path:     %d lease / %d backup / %d rejected (%d observations \
         audited)"
     r.r_lease_reads r.r_backup_reads r.r_lease_rejects r.r_read_obs;
+  line "seq depth peak:     %d entries (view %d)" r.r_seq_peak r.r_seq_peak_view;
   line "checkpoints skipped:%d" r.r_checkpoints_skipped;
   line "final primary:      %s" (Option.value r.final_primary ~default:"(none)");
   Buffer.add_string b
@@ -231,6 +247,12 @@ type driver = {
   reference_log : (int, string) Hashtbl.t;  (** index -> first-seen value *)
   watermarks : (string, int) Hashtbl.t;
   mutable sampler_on : bool;
+  mutable primary_cut : (Time.t * string) option;
+      (** first [Partition_primary]: when the cut landed and who was
+          primary — the lease-fence prober's target *)
+  mutable fence_healed : bool;
+      (** a heal reconnected the ex-primary: it may legitimately win the
+          lease back, so the fence prober stands down *)
 }
 
 let majority members = (List.length members / 2) + 1
@@ -306,6 +328,7 @@ let apply_fault d fault =
     | Some p ->
       let rest = List.filter (fun n -> n <> p) (Cluster.members d.cluster) in
       Fabric.partition fab [ p ] rest;
+      if d.primary_cut = None then d.primary_cut <- Some (Engine.now d.eng, p);
       note d "partition" p)
   | Partition_oneway_primary -> (
     match Cluster.primary_node d.cluster with
@@ -341,6 +364,7 @@ let apply_fault d fault =
     note d "autoheal" "armed"
   | Heal ->
     Fabric.heal fab;
+    if d.primary_cut <> None then d.fence_healed <- true;
     note d "heal" ""
   | Loss_window { loss; duration } ->
     Fabric.set_loss fab loss;
@@ -753,6 +777,8 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
       reference_log = Hashtbl.create 4096;
       watermarks = Hashtbl.create 8;
       sampler_on = true;
+      primary_cut = None;
+      fence_healed = false;
     }
   in
   Cluster.start cluster;
@@ -806,6 +832,50 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
           in
           loop rc)
     done;
+  (* Lease-fence prober: once the schedule isolates the primary, wait out
+     the lease, then hammer the ex-primary's read port until heal.  The
+     partition severs only replica-to-replica links, so the prober still
+     reaches the corpse — exactly the dangerous window: a primary that
+     can no longer renew against a heartbeat-ack quorum must let its
+     lease lapse on its own (within [lease_duration], long before the
+     [suspect_timeout] detector would flag the partition), after which
+     every fast read it answers must come back [Rejected] or
+     bounded-stale, never [`Lease].  [grace] covers an ack already in
+     flight when the cut landed: a lease granted an instant before the
+     partition stays valid until grant + lease_duration. *)
+  let fence_attempts = ref 0 in
+  let fence_first = ref None in
+  if scenario.lease_fence then
+    Engine.spawn eng ~name:"lease-fence-probe" (fun () ->
+        let lease = cfg.Instance.paxos.Paxos.lease_duration in
+        let grace = Time.ms 10 in
+        let rec loop () =
+          if not d.fence_healed then begin
+            (match d.primary_cut with
+            | Some (cut, p) when Engine.now eng >= cut + lease + grace -> (
+              incr fence_attempts;
+              if !fence_first = None then fence_first := Some (Engine.now eng);
+              match
+                fast_read_node d ~read_port:cfg.Instance.read_port ~node:p
+                  ~from:"chaos-fence"
+              with
+              | Some (Proxy.Served r) when r.Proxy.mode = `Lease ->
+                violate d "lease-fencing"
+                  (Printf.sprintf
+                     "ex-primary %s served a lease read %s after the cut \
+                      (lease is %s)"
+                     p
+                     (Time.to_string (Engine.now eng - cut))
+                     (Time.to_string lease))
+              | Some (Proxy.Served _ | Proxy.Rejected | Proxy.Write_required)
+              | None ->
+                ())
+            | Some _ | None -> ());
+            Engine.sleep eng (Time.ms 10);
+            loop ()
+          end
+        in
+        loop ());
   let handle =
     Loadgen.run ~name:"chaos" ~seed ~think:scenario.think ~retries:6
       ~retry_backoff:(Time.ms 100) ~clients:scenario.clients ~requests:scenario.requests
@@ -821,6 +891,7 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
     Fabric.heal (Cluster.fabric cluster);
     note d "heal" "(end of schedule)"
   end;
+  d.fence_healed <- true;
   Fabric.set_loss (Cluster.fabric cluster) 0.0;
   Fabric.set_latency (Cluster.fabric cluster) ~base:(Time.us 40) ~jitter:(Time.us 20);
   Cluster.run ~until:(Engine.now eng + scenario.settle) cluster;
@@ -867,13 +938,37 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
     final_checks d ~ledger ~probe_errors:probe_r.Loadgen.errors
       ~reads:(List.rev !read_obs)
     @
-    if scenario.expect_snapshot then
-      [ ( "snapshot-recovery",
-          if snapshots_installed >= 1 then None
-          else
-            Some
-              "no snapshot was installed: the lagging replica recovered without \
-               the state-transfer path this scenario exists to exercise" ) ]
+    (if scenario.expect_snapshot then
+       [ ( "snapshot-recovery",
+           if snapshots_installed >= 1 then None
+           else
+             Some
+               "no snapshot was installed: the lagging replica recovered without \
+                the state-transfer path this scenario exists to exercise" ) ]
+     else [])
+    @
+    if scenario.lease_fence then
+      [ ( "lease-fencing",
+          match
+            List.rev (List.filter (fun (i, _) -> i = "lease-fencing") d.violations)
+          with
+          | (_, detail) :: _ -> Some detail
+          | [] -> (
+            if !fence_attempts = 0 then
+              Some
+                "vacuous: the fence prober never reached the partitioned \
+                 ex-primary"
+            else
+              (* the satellite claim: the lease lapses on its own, before
+                 the failure detector would even suspect the partition —
+                 so the clean probe window must open pre-suspect-timeout *)
+              match (!fence_first, d.primary_cut) with
+              | Some first, Some (cut, _)
+                when first >= cut + cfg.Instance.paxos.Paxos.suspect_timeout ->
+                Some
+                  "probe window opened after suspect_timeout: the run cannot \
+                   show the lease lapsed before failure detection"
+              | _ -> None) ) ]
     else []
   in
   {
@@ -908,6 +1003,20 @@ let run ?(cfg = chaos_config) ?trace ~seed scenario =
           acc + (Crane_core.Proxy.stats inst.Instance.proxy).Proxy.lease_rejects)
         0 (Cluster.instances cluster);
     r_read_obs = List.length !read_obs;
+    r_seq_peak =
+      List.fold_left
+        (fun acc (_, inst) ->
+          max acc (Crane_core.Paxos_seq.max_depth (Crane_core.Vhost.seq inst.Instance.vhost)))
+        0 (Cluster.instances cluster);
+    r_seq_peak_view =
+      (* the view attribution of whichever replica holds the peak *)
+      List.fold_left
+        (fun ((best, _) as acc) (_, inst) ->
+          let seq = Crane_core.Vhost.seq inst.Instance.vhost in
+          let d = Crane_core.Paxos_seq.max_depth seq in
+          if d > best then (d, Crane_core.Paxos_seq.max_depth_view seq) else acc)
+        (0, 0) (Cluster.instances cluster)
+      |> snd;
     r_checkpoints_skipped =
       List.fold_left
         (fun acc (_, inst) ->
@@ -939,6 +1048,7 @@ let base =
     think = Time.ms 40;
     read_clients = 0;
     expect_snapshot = false;
+    lease_fence = false;
   }
 
 let scenarios =
@@ -1057,6 +1167,19 @@ let scenarios =
                the joiner's bootstrap cannot be served from the log *)
             { at = Time.sec 7;
               fault = Replace { dead = "replica3"; fresh = "replica4" } } ] };
+    { base with
+      name = "lease-partition";
+      about = "isolate the lease-holding primary with read traffic flowing: its \
+               lease must lapse within lease_duration of the cut — before the \
+               suspect timeout would even notice — and no fast read on the \
+               ex-primary may be served in lease mode until heal";
+      duration = Time.sec 4;
+      read_clients = 2;
+      lease_fence = true;
+      schedule =
+        Timed
+          [ { at = Time.sec 1; fault = Partition_primary };
+            { at = Time.sec 3; fault = Heal } ] };
     { base with
       name = "stale-read-viewchange";
       about = "kill the lease-holding primary mid-read-burst, then reconfigure \

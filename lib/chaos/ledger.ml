@@ -26,7 +26,10 @@ let server : Api.server =
         (* newest first *)
         let count = ref 0 in
         let stopped = ref false in
-        let mu = R.mutex () in
+        (* Reader-writer lock, not a mutex: GETs only read the list, and
+           a mutex would serialize (and order) concurrent GET commands
+           that the delivery layer is entitled to run in parallel. *)
+        let mu = R.rwlock ~name:"ledger.ids" () in
         R.spawn ~name:"ledger-listener" (fun () ->
             let l = R.listen ~port:80 in
             while not !stopped do
@@ -40,17 +43,17 @@ let server : Api.server =
                       let rest = String.sub buf (i + 1) (String.length buf - i - 1) in
                       (match String.split_on_char ' ' line with
                       | [ "PUT"; id ] ->
-                        R.lock mu;
+                        R.wrlock mu;
                         ids := id :: !ids;
                         incr count;
-                        R.unlock mu;
+                        R.rwunlock mu;
                         R.send c (Printf.sprintf "OK %s\n" id)
                       | [ "GET" ] ->
                         (* Consensus-path read: the all-consensus baseline
                            and the fast path's REJECT/fallback route. *)
-                        R.lock mu;
+                        R.rdlock mu;
                         let snapshot = String.concat "," (List.rev !ids) in
-                        R.unlock mu;
+                        R.rwunlock mu;
                         R.send c (Printf.sprintf "IDS %s\n" snapshot)
                       | _ -> R.send c "ERR\n");
                       serve rest
@@ -75,6 +78,16 @@ let server : Api.server =
               if String.trim line = "GET" then
                 Some (Printf.sprintf "IDS %s\n" (String.concat "," (List.rev !ids)))
               else None);
+          footprint =
+            (fun line ->
+              (* The whole ledger is one resource: PUTs all conflict (the
+                 honest footprint of an append-only list), GETs only read
+                 it and may run alongside each other. *)
+              match String.split_on_char ' ' (String.trim line) with
+              | [ "PUT"; _ ] ->
+                Some { Api.fp_reads = []; fp_writes = [ "ledger" ] }
+              | [ "GET" ] -> Some { Api.fp_reads = [ "ledger" ]; fp_writes = [] }
+              | _ -> None);
         });
   }
 

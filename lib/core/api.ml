@@ -83,6 +83,15 @@ end
 
 type api = (module API)
 
+(** The conflict footprint a server declares for one request payload: the
+    named resources (shared cells, lock-guarded structures) the handler
+    will read and write.  The dependency-aware delivery layer admits two
+    committed commands concurrently only when their footprints are
+    disjoint (no write/write or read/write overlap); [None] means the
+    server cannot bound the command's effects, and the gate conservatively
+    treats it as touching everything (it executes alone, in log order). *)
+type footprint = { fp_reads : string list; fp_writes : string list }
+
 (** What a booted server hands back to the CRANE instance: the hooks the
     checkpoint component needs (the CRIU-substitution state blob, declared
     resident memory) and a stop switch. *)
@@ -100,6 +109,11 @@ type handle = {
           to the consensus path.  Must not block, yield, or mutate
           state: the proxy calls it synchronously from its own thread,
           so the answer reflects one instant of server state. *)
+  footprint : string -> footprint option;
+      (** Conflict footprint of one request payload, for dependency-aware
+          parallel delivery.  Like [read], must be pure and non-blocking
+          (it runs under the scheduler gate).  [None] = undeclared: the
+          command is treated as touching all state and serializes. *)
 }
 
 (** A server program, supplied to a cluster or run directly against any

@@ -45,6 +45,13 @@ type config = {
   batch_delay : Time.t;
       (** proxy batching: flush a non-full pending batch after this much
           virtual time *)
+  pool_workers : int;
+      (** dependency-aware parallel delivery: number of execute-stage
+          worker lanes (1 = off, the classic head-of-sequence admission).
+          Above 1 requires [Full] or [No_bubbling] mode; committed
+          commands with disjoint declared footprints run concurrently on
+          separate DMT lanes while conflicting or undeclared commands
+          keep total log order *)
   wal_write_latency : Time.t;
       (** per-fsync device latency of each replica's WAL — exposed so the
           what-if profiler can re-run a seed with a scaled flash device
@@ -74,6 +81,7 @@ let default_config =
     paxos = Paxos.default_config;
     batch_max = 64;
     batch_delay = Time.us 100;
+    pool_workers = 1;
     wal_write_latency = Time.us 15;
     checkpoint_period = Time.sec 60;
     container_stop = Time.ms 1200;
@@ -103,6 +111,7 @@ let vhost_config (cfg : config) =
     nclock = cfg.nclock;
     bubbling = (match cfg.mode with Full -> true | No_bubbling | Paxos_only -> false);
     usleep = cfg.usleep;
+    pool = (match cfg.mode with Full | No_bubbling -> cfg.pool_workers | Paxos_only -> 1);
   }
 
 (** Boot a replica.  [skip_upto] > 0 means the server state was restored
@@ -141,7 +150,14 @@ let boot ~eng ~fabric ~world ~rng ~wal ~members ~node ~(cfg : config) ~(server :
   let dmt, clocking =
     match cfg.mode with
     | Full | No_bubbling ->
-      let dmt = Dmt.create ~turn_cost:cfg.turn_cost ~idle_period:cfg.idle_period eng in
+      (* One lane per pool worker, plus lane 0 for the idle thread and
+         bootstrap spawns; pool_workers = 1 keeps the classic single
+         round-robin queue. *)
+      let lanes = if cfg.pool_workers > 1 then cfg.pool_workers + 1 else 1 in
+      let dmt =
+        Dmt.create ~turn_cost:cfg.turn_cost ~idle_period:cfg.idle_period ~lanes
+          eng
+      in
       Dmt.set_label dmt node;
       (Some dmt, Vhost.Clocked dmt)
     | Paxos_only -> (None, Vhost.Immediate)
@@ -166,6 +182,7 @@ let boot ~eng ~fabric ~world ~rng ~wal ~members ~node ~(cfg : config) ~(server :
   let handle = server.Api.boot runtime.Runtime.api in
   (match restore_state with Some state -> handle.Api.load_state state | None -> ());
   if cfg.read_fastpath then Proxy.set_read_handler proxy handle.Api.read;
+  if cfg.pool_workers > 1 then Vhost.set_footprint vhost handle.Api.footprint;
   let manager =
     (* Quiescence for a checkpoint means no alive connections AND no
        decided-but-unconsumed client calls in the PAXOS sequence: the

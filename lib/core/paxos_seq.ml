@@ -26,7 +26,11 @@ type t = {
   mutable queued_calls : int; (* client calls delivered but not yet consumed *)
   mutable max_depth : int;
       (* High-water mark of the queue: batched consensus delivers commits
-         in bursts, and this records how deep the burst backlog got. *)
+         in bursts, and this records how deep the burst backlog got.
+         Attributed per view: a view change resets it to the current
+         depth, so a report never shows a stale peak from a previous
+         primary's burst regime. *)
+  mutable depth_view : int; (* view the current high-water mark belongs to *)
 }
 
 let create ?(node = "") eng =
@@ -40,10 +44,15 @@ let create ?(node = "") eng =
     bubbles = 0;
     queued_calls = 0;
     max_depth = 0;
+    depth_view = 0;
   }
 
-let append t ?(index = 0) ev =
+let append t ?(index = 0) ?(view = 0) ev =
   Queue.add (index, ev) t.q;
+  if view > t.depth_view then begin
+    t.depth_view <- view;
+    t.max_depth <- Queue.length t.q
+  end;
   if Queue.length t.q > t.max_depth then t.max_depth <- Queue.length t.q;
   t.last_nonempty <- Engine.now t.eng;
   (let tr = Engine.trace t.eng in
@@ -72,6 +81,31 @@ let head t =
   if t.bubble_left > 0 then Some (Event.Time_bubble { nclock = t.bubble_left })
   else Option.map snd (Queue.peek_opt t.q)
 
+(* Shared admission bookkeeping for an entry leaving the queue, whether
+   popped from the head or plucked mid-queue by the pool-mode scan. *)
+let note_admitted t index ev =
+  if not (Event.is_bubble ev) then begin
+    t.queued_calls <- t.queued_calls - 1;
+    let tr = Engine.trace t.eng in
+    if Trace.enabled tr then begin
+      let ts = Engine.now t.eng and tid = Engine.self_tid t.eng in
+      let conn =
+        match ev with
+        | Event.Connect { conn; _ } | Event.Send { conn; _ }
+        | Event.Close { conn } -> conn
+        | Event.Time_bubble _ -> -1
+      in
+      Trace.instant tr ~ts ~tid ~node:t.node ~cat:"seq" ~name:"admit"
+        [ ("index", Trace.Int index); ("conn", Trace.Int conn) ];
+      (* Close the proposer-opened request-lifecycle span.  Every
+         replica admits the index; the first admission wins the pair,
+         later ends find no open span and are ignored. *)
+      if index > 0 then
+        Trace.async_end tr ~ts ~tid ~id:index ~node:t.node ~cat:"req"
+          ~name:"lifecycle" []
+    end
+  end
+
 (* Admit the call at the head, returning its global index (0 when the
    entry predates index threading, e.g. checkpoint replay). *)
 let drop_head_ix t =
@@ -79,31 +113,45 @@ let drop_head_ix t =
   if t.bubble_left > 0 then invalid_arg "Paxos_seq.drop_head: head is a bubble"
   else begin
     let index, ev = Queue.pop t.q in
-    if not (Event.is_bubble ev) then begin
-      t.queued_calls <- t.queued_calls - 1;
-      let tr = Engine.trace t.eng in
-      if Trace.enabled tr then begin
-        let ts = Engine.now t.eng and tid = Engine.self_tid t.eng in
-        let conn =
-          match ev with
-          | Event.Connect { conn; _ } | Event.Send { conn; _ }
-          | Event.Close { conn } -> conn
-          | Event.Time_bubble _ -> -1
-        in
-        Trace.instant tr ~ts ~tid ~node:t.node ~cat:"seq" ~name:"admit"
-          [ ("index", Trace.Int index); ("conn", Trace.Int conn) ];
-        (* Close the proposer-opened request-lifecycle span.  Every
-           replica admits the index; the first admission wins the pair,
-           later ends find no open span and are ignored. *)
-        if index > 0 then
-          Trace.async_end tr ~ts ~tid ~id:index ~node:t.node ~cat:"req"
-            ~name:"lifecycle" []
-      end
-    end;
+    note_admitted t index ev;
     index
   end
 
 let drop_head t = ignore (drop_head_ix t)
+
+(* Pool-mode admission scan: visit queued entries in index order, letting
+   [f ix ev] admit (remove, with the same bookkeeping and trace events as
+   [drop_head_ix]), skip (leave queued, keep scanning) or stop.  The scan
+   never crosses a time bubble — bubbles are barriers drained by the gate
+   at the head, exactly as in 1-lane mode — and visits at most [limit]
+   entries.  [f] must not touch the sequence.  Relative order of the kept
+   entries is preserved, so the queue stays index-sorted and
+   [lowest_index] remains the oldest unadmitted index. *)
+let scan_admit t ~limit f =
+  normalize t;
+  if t.bubble_left = 0 then begin
+    let n = Queue.length t.q in
+    let kept = ref [] in
+    let visited = ref 0 in
+    let stopped = ref false in
+    for _ = 1 to n do
+      let ((index, ev) as entry) = Queue.pop t.q in
+      if !stopped || !visited >= limit || Event.is_bubble ev then begin
+        stopped := true;
+        kept := entry :: !kept
+      end
+      else begin
+        incr visited;
+        match f index ev with
+        | `Admit -> note_admitted t index ev
+        | `Skip -> kept := entry :: !kept
+        | `Stop ->
+          stopped := true;
+          kept := entry :: !kept
+      end
+    done;
+    List.iter (fun e -> Queue.add e t.q) (List.rev !kept)
+  end
 
 let is_empty t =
   normalize t;
@@ -152,6 +200,7 @@ let lowest_index t =
 
 let length t = Queue.length t.q + if t.bubble_left > 0 then 1 else 0
 let max_depth t = t.max_depth
+let max_depth_view t = t.depth_view
 let queued_calls t = t.queued_calls
 let calls t = t.calls
 let bubbles t = t.bubbles

@@ -466,7 +466,9 @@ let create ~eng ~node ~world ~port ~paxos ~vhost ~group ~skip_upto
          unpacked, one callback per entry). *)
       Paxos.on_commit =
         (fun ~index value ->
-          if index > t.skip_upto then Vhost.deliver vhost ~index (Event.decode value));
+          if index > t.skip_upto then
+            Vhost.deliver vhost ~index ~view:(Paxos.view t.paxos)
+              (Event.decode value));
       (* Deposed or abdicated: shed every attached client immediately so
          they see EOF and retry against the new primary, instead of
          waiting out a recv timeout on a node that can no longer commit

@@ -58,14 +58,20 @@ module Cellkit = struct
         ~cat:"mem" ~name
         [ ("loc", Trace.Int c.id); ("site", Trace.Str c.site) ]
 
-  let turn_args =
-    [ ("obj", Trace.Int 0); ("kind", Trace.Str "turn"); ("label", Trace.Str "turn") ]
+  (* The turn pseudo-lock is per scheduler lane: object 0 for lane 0 (the
+     classic global turn) and negative ids for pool-mode worker lanes —
+     [new_obj] ids start at 1, so negatives never collide with real
+     objects.  Single-lane schedulers always report object 0, keeping
+     their traces byte-identical to the pre-lane ones. *)
+  let turn_args ~lane =
+    [ ("obj", Trace.Int (if lane = 0 then 0 else -lane));
+      ("kind", Trace.Str "turn"); ("label", Trace.Str "turn") ]
 
-  let turn_ev ~eng ~node name =
+  let turn_ev ?(lane = 0) ~eng ~node name =
     let tr = Engine.trace eng in
     if Trace.enabled tr then
       Trace.instant tr ~ts:(Engine.now eng) ~tid:(Engine.self_tid eng) ~node
-        ~cat:"sync" ~name turn_args
+        ~cat:"sync" ~name (turn_args ~lane)
 end
 
 (* The server-side pickup of an admitted request: the instant the recv
@@ -291,10 +297,11 @@ let crane ~eng ~node ~fs ~cores ~dmt ~vhost () =
     let cell_access name c f =
       if Dmt.is_thread dmt then begin
         Dmt.get_turn dmt;
-        Cellkit.turn_ev ~eng ~node "acquire";
+        let lane = Dmt.current_lane dmt in
+        Cellkit.turn_ev ~lane ~eng ~node "acquire";
         Cellkit.mem_ev ~eng ~node name c;
         let v = f () in
-        Cellkit.turn_ev ~eng ~node "release";
+        Cellkit.turn_ev ~lane ~eng ~node "release";
         Dmt.put_turn dmt;
         v
       end

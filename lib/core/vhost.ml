@@ -27,10 +27,24 @@ type config = {
   nclock : int;  (** logical clocks granted per bubble (default 1000) *)
   bubbling : bool;  (** plan II of §7.2 sets this false *)
   usleep : Time.t;  (** polling period of Figure 10's usleep (default 10 us) *)
+  pool : int;
+      (** execute-stage worker pool width.  1 (default) is classic CRANE:
+          entries admitted strictly from the sequence head.  Above 1 the
+          gate becomes a dependency-aware scan: committed commands with
+          disjoint declared footprints are admitted concurrently onto
+          separate scheduler lanes (requires a {!Clocked} DMT created
+          with [pool + 1] lanes); conflicting or undeclared commands keep
+          total log order. *)
 }
 
 let default_config =
-  { wtimeout = Time.us 100; nclock = 1000; bubbling = true; usleep = Time.us 10 }
+  {
+    wtimeout = Time.us 100;
+    nclock = 1000;
+    bubbling = true;
+    usleep = Time.us 10;
+    pool = 1;
+  }
 
 type signal_obj =
   | Dobj of int  (* DMT wait-queue object (clocked mode) *)
@@ -41,6 +55,10 @@ type vconn = {
   buf : Bytestream.t;
   mutable veof : bool;
   mutable vclosed : bool;
+  mutable exec_open : bool;
+      (* pool mode: an execute window (recv handoff -> next recv/close) is
+         open on this connection; brackets the certifier's per-command
+         event attribution *)
   cobj : signal_obj;
 }
 
@@ -68,6 +86,13 @@ let null_handlers =
     request_bubble = (fun () -> ());
   }
 
+(* Pool mode: one admitted-but-unretired command per connection.  Its
+   footprint blocks conflicting later entries until the connection's
+   worker proves quiescent again (drains its buffer and blocks in recv,
+   or closes).  [afp = None] is a barrier: an undeclared command that
+   conservatively touches everything. *)
+type pool_entry = { aix : int; afp : Api.footprint option; alane : int }
+
 type t = {
   eng : Engine.t;
   cfg : config;
@@ -77,6 +102,8 @@ type t = {
   conns : (int, vconn) Hashtbl.t;
   listeners : (int, vlistener) Hashtbl.t;
   output : Output_log.t;
+  pool_active : (int, pool_entry) Hashtbl.t;  (* conn -> active command *)
+  mutable pool_fp : string -> Api.footprint option;
   mutable handlers : handlers;
   mutable last_bubble_request : Time.t;
   mutable stopped : bool;
@@ -90,6 +117,12 @@ type t = {
      Bounded-stale reads subtract these from the claimed watermark so a
      read never claims an index whose state effects are still pending. *)
   inflight : (int, int) Hashtbl.t;
+  (* Round-robin cursor for lane placement ties.  Load counts only
+     active (unretired) commands, and a connection that blocks in recv
+     retires instantly — so at a burst's admission every worker lane
+     reads load 0, and a fixed tie-break would pile the whole burst
+     onto one lane. *)
+  mutable pool_rr : int;
   mutable last_gate_clock : int;
   (* gate statistics *)
   mutable bulk_drains : int;
@@ -106,15 +139,15 @@ let new_signal_obj t =
 let make_vconn t vid =
   let c =
     { vid; buf = Bytestream.create (); veof = false; vclosed = false;
-      cobj = new_signal_obj t }
+      exec_open = false; cobj = new_signal_obj t }
   in
   Hashtbl.replace t.conns vid c;
   t.open_conns <- t.open_conns + 1;
   c
 
-let signal_one t obj =
+let signal_one ?lane t obj =
   match (t.clocking, obj) with
-  | Clocked dmt, Dobj o -> Dmt.signal dmt ~obj:o
+  | Clocked dmt, Dobj o -> Dmt.signal ?lane dmt ~obj:o
   | _, Raw q ->
     let rec go () =
       match Queue.take_opt q with
@@ -132,6 +165,187 @@ let note_admit t =
   if Trace.enabled tr then
     Trace.counter tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
       ~node:t.node ~name:"admitted" t.admitted
+
+(* ------------------------------------------------------------------ *)
+(* Dependency-aware pool admission (pool > 1, clocked mode only). *)
+
+let pool_mode t = t.cfg.pool > 1
+
+let fp_conflict a b =
+  let inter l1 l2 = List.exists (fun x -> List.mem x l2) l1 in
+  inter a.Api.fp_writes b.Api.fp_writes
+  || inter a.Api.fp_writes b.Api.fp_reads
+  || inter a.Api.fp_reads b.Api.fp_writes
+
+let pool_has_barrier t =
+  Hashtbl.fold (fun _ e acc -> acc || e.afp = None) t.pool_active false
+
+(* The connection's worker proved quiescent: everything admitted on it has
+   fully executed, so its footprint stops blocking later commands and the
+   read watermark may advance past it. *)
+let pool_retire t (c : vconn) =
+  Hashtbl.remove t.inflight c.vid;
+  Hashtbl.remove t.pool_active c.vid
+
+(* Execute-window brackets for the conflict-serializability certifier:
+   [begin] when recv hands admitted bytes to server code, [end] when the
+   same connection next blocks in recv (or closes).  Everything a worker
+   does in between is attributed to the bracketed consensus index. *)
+let exec_end t (c : vconn) =
+  if c.exec_open then begin
+    c.exec_open <- false;
+    let tr = Engine.trace t.eng in
+    if Trace.enabled tr then
+      Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+        ~node:t.node ~cat:"exec" ~name:"end" [ ("conn", Trace.Int c.vid) ]
+  end
+
+let exec_begin t (c : vconn) ~index ~lane =
+  c.exec_open <- true;
+  let tr = Engine.trace t.eng in
+  if Trace.enabled tr then
+    Trace.instant tr ~ts:(Engine.now t.eng) ~tid:(Engine.self_tid t.eng)
+      ~node:t.node ~cat:"exec" ~name:"begin"
+      [ ("index", Trace.Int index); ("conn", Trace.Int c.vid);
+        ("lane", Trace.Int lane) ]
+
+(* Place an admitted command on the least-loaded worker lane (lane 0 is
+   the idle/bootstrap lane).  Purely a performance decision — derived
+   from deterministic state under the turn, so it is itself
+   deterministic — and never a correctness one: admission already
+   guarantees concurrent commands are footprint-disjoint. *)
+let pool_pick_lane t dmt =
+  let lanes = Dmt.lane_count dmt in
+  if lanes <= 1 then 0
+  else begin
+    let load = Array.make lanes 0 in
+    Hashtbl.iter
+      (fun _ e -> if e.alane < lanes then load.(e.alane) <- load.(e.alane) + 1)
+      t.pool_active;
+    let nw = lanes - 1 in
+    let best = ref (1 + (t.pool_rr mod nw)) in
+    for i = 1 to nw - 1 do
+      let l = 1 + ((t.pool_rr + i) mod nw) in
+      if load.(l) < load.(!best) then best := l
+    done;
+    t.pool_rr <- t.pool_rr + 1;
+    !best
+  end
+
+let pool_scan_limit = 128
+
+(* One admission scan over the decided sequence, in index order.  An entry
+   is admissible iff every earlier entry of its connection was admitted
+   (per-connection FIFO: one skip blocks the connection for the rest of
+   the scan) and its footprint conflicts with no unretired earlier
+   command — active or skipped — so per-resource order always follows
+   index order.  Undeclared commands ([footprint] = None) are barriers:
+   admitted only alone, blocking everything behind them. *)
+let pool_scan t dmt =
+  let blocked = Hashtbl.create 8 in
+  let skipped_fps = ref [] in
+  let skipped_any = ref false in
+  let skipped_barrier = ref false in
+  let barrier_live = ref (pool_has_barrier t) in
+  let conflicts_existing fp =
+    Hashtbl.fold
+      (fun _ e acc ->
+        acc
+        || match e.afp with Some afp -> fp_conflict fp afp | None -> true)
+      t.pool_active false
+    || List.exists (fun sfp -> fp_conflict fp sfp) !skipped_fps
+  in
+  let skip_conn conn =
+    Hashtbl.replace blocked conn ();
+    skipped_any := true;
+    `Skip
+  in
+  Paxos_seq.scan_admit t.seq ~limit:pool_scan_limit (fun ix ev ->
+      match ev with
+      | Event.Time_bubble _ -> `Stop (* unreachable: the scan stops at bubbles *)
+      | Event.Connect { conn; port } ->
+        if !barrier_live || !skipped_barrier then skip_conn conn
+        else (
+          match Hashtbl.find_opt t.listeners port with
+          | Some l ->
+            let (_ : vconn) = make_vconn t conn in
+            note_admit t;
+            Queue.add conn l.pending;
+            signal_one ~lane:0 t l.lobj;
+            `Admit
+          | None -> skip_conn conn (* server not listening yet *))
+      | Event.Send { conn; payload } -> (
+        if Hashtbl.mem blocked conn then begin
+          (match t.pool_fp payload with
+          | Some fp -> skipped_fps := fp :: !skipped_fps
+          | None -> skipped_barrier := true);
+          skipped_any := true;
+          `Skip
+        end
+        else
+          match Hashtbl.find_opt t.conns conn with
+          | Some c when not c.vclosed -> (
+            if
+              Hashtbl.mem t.pool_active conn
+              || !barrier_live || !skipped_barrier
+            then begin
+              (match t.pool_fp payload with
+              | Some fp -> skipped_fps := fp :: !skipped_fps
+              | None -> skipped_barrier := true);
+              skip_conn conn
+            end
+            else
+              match t.pool_fp payload with
+              | None ->
+                if Hashtbl.length t.pool_active = 0 && not !skipped_any then begin
+                  (* barrier admitted alone, in strict log order *)
+                  Bytestream.push c.buf payload;
+                  Hashtbl.replace t.inflight conn ix;
+                  Hashtbl.replace t.pool_active conn
+                    { aix = ix; afp = None; alane = 0 };
+                  barrier_live := true;
+                  note_admit t;
+                  signal_one ~lane:0 t c.cobj;
+                  `Admit
+                end
+                else begin
+                  skipped_barrier := true;
+                  skip_conn conn
+                end
+              | Some fp ->
+                if conflicts_existing fp then begin
+                  skipped_fps := fp :: !skipped_fps;
+                  skip_conn conn
+                end
+                else begin
+                  let lane = pool_pick_lane t dmt in
+                  Bytestream.push c.buf payload;
+                  Hashtbl.replace t.inflight conn ix;
+                  Hashtbl.replace t.pool_active conn
+                    { aix = ix; afp = Some fp; alane = lane };
+                  note_admit t;
+                  signal_one ~lane t c.cobj;
+                  `Admit
+                end)
+          | Some _ | None ->
+            (* server already closed it (or never had it): admit and
+               discard, mirroring the head-dispatch drop *)
+            `Admit)
+      | Event.Close { conn } -> (
+        if Hashtbl.mem blocked conn then begin
+          skipped_any := true;
+          `Skip
+        end
+        else
+          match Hashtbl.find_opt t.conns conn with
+          | Some c when not c.vclosed ->
+            (* EOF after any buffered data; the worker observes it once
+               its buffer drains.  Deliberately does NOT clear inflight:
+               an active command may still be executing. *)
+            c.veof <- true;
+            signal_one ~lane:0 t c.cobj;
+            `Admit
+          | Some _ | None -> `Admit))
 
 (* The gate — paper Figure 10, [check_add_timebubble].  Runs with the DMT
    turn held (from lock wrappers and the idle thread). *)
@@ -206,6 +420,13 @@ let gate t =
            [ ("clocks", Trace.Int tick_delta); ("bulk", Trace.Int 0) ]);
       Paxos_seq.drain_bubble_upto t.seq tick_delta
     | Immediate -> Paxos_seq.decrement_bubble t.seq)
+  | Some _ when pool_mode t -> (
+    (* Dependency-aware admission: scan past the head, admitting every
+       decided command whose footprint conflicts with nothing earlier
+       still unretired. *)
+    match t.clocking with
+    | Clocked dmt -> pool_scan t dmt
+    | Immediate -> ())
   | Some (Event.Connect { port; _ }) -> (
     match Hashtbl.find_opt t.listeners port with
     | Some l -> signal_one t l.lobj
@@ -229,12 +450,15 @@ let create ?(node = "") eng ~cfg ~clocking =
       conns = Hashtbl.create 64;
       listeners = Hashtbl.create 4;
       output = Output_log.create ();
+      pool_active = Hashtbl.create 8;
+      pool_fp = (fun _ -> None);
       handlers = null_handlers;
       last_bubble_request = Time.zero;
       stopped = false;
       open_conns = 0;
       admitted = 0;
       inflight = Hashtbl.create 64;
+      pool_rr = 0;
       last_gate_clock = 0;
       bulk_drains = 0;
       delta_drained = 0;
@@ -250,11 +474,11 @@ let create ?(node = "") eng ~cfg ~clocking =
 (* ------------------------------------------------------------------ *)
 (* Delivery from the proxy (consensus decision order). *)
 
-let deliver t ?index ev =
+let deliver t ?index ?view ev =
   match t.clocking with
-  | Clocked _ -> Paxos_seq.append t.seq ?index ev
+  | Clocked _ -> Paxos_seq.append t.seq ?index ?view ev
   | Immediate -> (
-    Paxos_seq.append t.seq ?index ev;
+    Paxos_seq.append t.seq ?index ?view ev;
     (* Admit instantly: drain the queue into connection state. *)
     let rec drain () =
       match Paxos_seq.head t.seq with
@@ -324,6 +548,13 @@ let raw_wait t q =
 
 let poll t l =
   match t.clocking with
+  | Clocked dmt when pool_mode t ->
+    (* Pool mode admits Connects into the pending queue from the scan. *)
+    Dmt.get_turn dmt;
+    (match l.lobj with
+    | Dobj o -> while Queue.is_empty l.pending do Dmt.wait dmt ~obj:o done
+    | Raw _ -> assert false);
+    Dmt.put_turn dmt
   | Clocked dmt ->
     Dmt.get_turn dmt;
     (match l.lobj with
@@ -337,6 +568,15 @@ let poll t l =
 
 let accept t l =
   match t.clocking with
+  | Clocked dmt when pool_mode t ->
+    Dmt.get_turn dmt;
+    (match l.lobj with
+    | Dobj o -> while Queue.is_empty l.pending do Dmt.wait dmt ~obj:o done
+    | Raw _ -> assert false);
+    let vid = Queue.pop l.pending in
+    let c = Hashtbl.find t.conns vid in
+    Dmt.put_turn dmt;
+    c
   | Clocked dmt ->
     Dmt.get_turn dmt;
     (match l.lobj with
@@ -385,6 +625,35 @@ let recv t (c : vconn) ~max =
      immediately: its sequence entries are discarded by the gate, so
      waiting would never be signalled. *)
   (match t.clocking with
+  | Clocked dmt when pool_mode t ->
+    (* Pool mode: payloads were pushed into the buffer by the admission
+       scan; recv only retires, brackets the execute window, and takes. *)
+    Dmt.get_turn dmt;
+    exec_end t c;
+    (match c.cobj with
+    | Dobj o ->
+      while Bytestream.is_empty c.buf && (not c.veof) && not c.vclosed do
+        (* About to block with an empty buffer: every admitted command on
+           this connection has fully executed — retire it, freeing its
+           footprint and the read watermark. *)
+        pool_retire t c;
+        Dmt.wait dmt ~obj:o
+      done
+    | Raw _ -> assert false);
+    if Bytestream.is_empty c.buf then pool_retire t c
+    else begin
+      let index =
+        Option.value (Hashtbl.find_opt t.inflight c.vid) ~default:0
+      in
+      (* If admission raced ahead of this worker's first recv, the
+         re-laning signal found no parked waiter: move ourselves onto
+         the command's assigned lane before opening the window. *)
+      (match Hashtbl.find_opt t.pool_active c.vid with
+      | Some { alane; _ } when alane > 0 -> Dmt.relane dmt ~lane:alane
+      | Some _ | None -> ());
+      exec_begin t c ~index ~lane:(Dmt.current_lane dmt)
+    end;
+    Dmt.put_turn dmt
   | Clocked dmt ->
     Dmt.get_turn dmt;
     consume_admitted t c;
@@ -437,12 +706,14 @@ let close t (c : vconn) =
       c.vclosed <- true;
       t.open_conns <- t.open_conns - 1;
       Hashtbl.remove t.inflight c.vid;
+      Hashtbl.remove t.pool_active c.vid;
       t.handlers.on_server_close c.vid
     end
   in
   match t.clocking with
   | Clocked dmt ->
     Dmt.get_turn dmt;
+    exec_end t c;
     perform ();
     Dmt.put_turn dmt
   | Immediate -> perform ()
@@ -472,4 +743,9 @@ let read_watermark t ~applied =
   Hashtbl.fold (fun _ ix acc -> min acc (max 0 (ix - 1))) t.inflight wm
 
 let set_handlers t handlers = t.handlers <- handlers
+
+let set_footprint t f = t.pool_fp <- f
+(** Install the server's conflict-footprint classifier (pool mode). *)
+
 let nclock t = t.cfg.nclock
+let pool t = t.cfg.pool

@@ -7,18 +7,30 @@ type dthread = {
   dname : string;
   mutable parked : (unit -> bool) option;
       (* Waker armed while the thread waits to become the run-queue head. *)
+  mutable lane : int; (* which run queue the thread currently lives in *)
+}
+
+(* One run queue.  The classic PARROT scheduler is the 1-lane case; the
+   dependency-aware delivery layer creates one extra lane per pool worker
+   and re-lanes a thread at signal time, so commands with disjoint
+   conflict footprints round-robin independently instead of stalling
+   behind each other's compute segments.  Lanes are purely a performance
+   placement: admission (in the vhost) never lets two conflicting
+   commands execute concurrently, whatever their lanes. *)
+type lane = {
+  mutable lq : dthread list; (* head = turn holder of this lane *)
+  mutable lsig : int; (* insertion point for signalled threads *)
 }
 
 type t = {
   eng : Engine.t;
   turn_cost : Time.t;
   idle_period : Time.t;
-  mutable runq : dthread list; (* head = turn holder *)
+  lanes : lane array; (* lane 0 hosts the idle thread and fresh spawns *)
   waitq : (int, dthread Queue.t) Hashtbl.t;
   threads : (int, dthread) Hashtbl.t; (* engine tid -> dthread *)
   mutable clock : int;
   mutable next_obj : int;
-  mutable sigpos : int; (* run-queue insertion point for signalled threads *)
   mutable gate : (unit -> unit) option;
   mutable tick_hooks : (int * (unit -> unit)) list;
   mutable switches : int;
@@ -31,8 +43,16 @@ let clock t = t.clock
 let context_switches t = t.switches
 let set_gate t gate = t.gate <- Some gate
 let set_label t node = t.label <- node
-let run_queue_length t = List.length t.runq
-let run_queue_names t = List.map (fun th -> th.dname) t.runq
+let lane_count t = Array.length t.lanes
+let lane_of t th = t.lanes.(th.lane)
+
+let run_queue_length t =
+  Array.fold_left (fun acc l -> acc + List.length l.lq) 0 t.lanes
+
+let run_queue_names t =
+  List.concat_map
+    (fun l -> List.map (fun th -> th.dname) l.lq)
+    (Array.to_list t.lanes)
 let new_obj t =
   let o = t.next_obj in
   t.next_obj <- o + 1;
@@ -44,6 +64,7 @@ let me t =
   | None -> failwith "Dmt: calling thread is not registered with this scheduler"
 
 let is_thread t = Hashtbl.mem t.threads (Engine.self_tid t.eng)
+let current_lane t = if is_thread t then (me t).lane else 0
 
 (* Sanitizer hook: stream a "sync" event through the engine's recorder. *)
 let ev t name args =
@@ -55,11 +76,11 @@ let ev t name args =
 let obj_args ~id ~kind ~label =
   [ ("obj", Trace.Int id); ("kind", Trace.Str kind); ("label", Trace.Str label) ]
 
-let is_head t th = match t.runq with h :: _ -> h == th | [] -> false
+let is_head t th = match (lane_of t th).lq with h :: _ -> h == th | [] -> false
 
-(* Wake the head if it is parked waiting for the turn. *)
-let wake_head t =
-  match t.runq with
+(* Wake a lane's head if it is parked waiting for the turn. *)
+let wake_head t lane =
+  match t.lanes.(lane).lq with
   | [] -> ()
   | h :: _ -> (
     match h.parked with
@@ -78,7 +99,7 @@ let park t th =
   if traced then
     Trace.span_begin tr ~ts:(Engine.now t.eng) ~tid:th.dtid ~node:t.label
       ~cat:"dmt" ~name:"turn_wait"
-      [ ("runq", Trace.Int (List.length t.runq)) ];
+      [ ("runq", Trace.Int (List.length (lane_of t th).lq)) ];
   Engine.suspend t.eng (fun wake -> th.parked <- Some wake);
   if traced then
     Trace.span_end tr ~ts:(Engine.now t.eng) ~tid:th.dtid ~node:t.label
@@ -110,28 +131,30 @@ let advance_clock t n =
     tick t
   done
 
-let rotate t =
-  match t.runq with
+let rotate t lane =
+  let l = t.lanes.(lane) in
+  match l.lq with
   | [] -> ()
-  | h :: rest -> t.runq <- rest @ [ h ]
+  | h :: rest -> l.lq <- rest @ [ h ]
 
 let put_turn t =
   let th = me t in
   assert (is_head t th);
   if t.turn_cost > 0 then Engine.sleep t.eng t.turn_cost;
-  rotate t;
-  t.sigpos <- 1;
+  rotate t th.lane;
+  (lane_of t th).lsig <- 1;
   tick t;
-  wake_head t
+  wake_head t th.lane
 
 (* Remove the head (the caller) from the run queue and hand the turn over
    without rotating the caller to the tail. *)
 let leave_runq t th =
   assert (is_head t th);
-  t.runq <- List.tl t.runq;
-  t.sigpos <- 1;
+  let l = lane_of t th in
+  l.lq <- List.tl l.lq;
+  l.lsig <- 1;
   tick t;
-  wake_head t
+  wake_head t th.lane
 
 let waitq_of t obj =
   match Hashtbl.find_opt t.waitq obj with
@@ -147,32 +170,72 @@ let wait t ~obj =
   leave_runq t th;
   park t th
 
-(* Insert a signalled thread just behind the head (and behind previously
-   signalled ones), so it takes the turn right after the signaller. *)
-let insert_at t pos th =
+(* Insert a signalled thread just behind a lane's head (and behind
+   previously signalled ones), so it takes the turn right after the
+   signaller. *)
+let insert_at t lane pos th =
+  let l = t.lanes.(lane) in
   let rec go i = function
     | rest when i = pos -> th :: rest
     | x :: rest -> x :: go (i + 1) rest
     | [] -> [ th ]
   in
-  t.runq <- go 0 t.runq
+  l.lq <- go 0 l.lq
 
-let signal t ~obj =
+(* [?lane] re-lanes the woken waiter: the dependency-aware gate signals a
+   worker into the lane of its command's conflict footprint.  Without it,
+   the waiter joins the signaller's lane (the 1-lane behaviour).  A
+   cross-lane insert can land at the head of an idle lane, where nobody
+   would ever rotate to it — wake it directly. *)
+let signal ?lane t ~obj =
   match Hashtbl.find_opt t.waitq obj with
   | None -> ()
   | Some q -> (
     match Queue.take_opt q with
     | None -> ()
     | Some th ->
-      insert_at t t.sigpos th;
-      t.sigpos <- t.sigpos + 1)
+      let target =
+        match lane with
+        | Some l -> l mod Array.length t.lanes
+        | None -> if is_thread t then (me t).lane else 0
+      in
+      th.lane <- target;
+      let l = t.lanes.(target) in
+      insert_at t target l.lsig th;
+      l.lsig <- l.lsig + 1;
+      if is_head t th then (
+        match th.parked with
+        | Some wake ->
+          th.parked <- None;
+          ignore (wake ())
+        | None -> ()))
 
-let signal_all t ~obj =
+(* Migrate the calling thread (which must hold its lane's turn) to
+   [lane].  [signal ?lane] re-lanes a parked waiter, but a worker whose
+   command bytes were pushed before it ever blocked never parks — it
+   would run the whole command on whatever lane it happened to occupy.
+   The delivery layer calls this at the execute-window boundary to put
+   the worker on its command's assigned lane.  All inputs are
+   deterministic state under the turn, so placement is replayable. *)
+let relane t ~lane =
+  let th = me t in
+  let target = lane mod Array.length t.lanes in
+  if target <> th.lane then begin
+    assert (is_head t th);
+    let l = t.lanes.(target) in
+    leave_runq t th;
+    th.lane <- target;
+    insert_at t target l.lsig th;
+    l.lsig <- l.lsig + 1;
+    if not (is_head t th) then park t th
+  end
+
+let signal_all ?lane t ~obj =
   match Hashtbl.find_opt t.waitq obj with
   | None -> ()
   | Some q ->
     while not (Queue.is_empty q) do
-      signal t ~obj
+      signal ?lane t ~obj
     done
 
 let waiters t ~obj =
@@ -187,7 +250,8 @@ let block_external t f =
   let result = f () in
   (* Rejoin in completion order: this is where network-arrival
      nondeterminism re-enters a plain PARROT execution. *)
-  t.runq <- t.runq @ [ th ];
+  let l = lane_of t th in
+  l.lq <- l.lq @ [ th ];
   if is_head t th then () (* we are running already; just continue *);
   result
 
@@ -208,15 +272,24 @@ let spawn t ~name body =
         in
         match body () with () -> cleanup () | exception e -> cleanup (); raise e)
   in
-  let th = { dtid = tid; dname = name; parked = None } in
+  let parent_lane =
+    match Hashtbl.find_opt t.threads (Engine.self_tid t.eng) with
+    | Some p -> p.lane
+    | None -> 0
+  in
+  let th = { dtid = tid; dname = name; parked = None; lane = parent_lane } in
   Hashtbl.replace t.threads tid th;
   if Hashtbl.mem t.threads (Engine.self_tid t.eng) then begin
     (* Spawned from a registered DMT thread: schedule the insertion. *)
     get_turn t;
-    t.runq <- t.runq @ [ th ];
+    let l = lane_of t th in
+    l.lq <- l.lq @ [ th ];
     put_turn t
   end
-  else t.runq <- t.runq @ [ th ]
+  else begin
+    let l = lane_of t th in
+    l.lq <- l.lq @ [ th ]
+  end
 
 let run_gate t = match t.gate with Some g -> g () | None -> ()
 
@@ -232,7 +305,7 @@ let idle_loop t =
       if t.stopped then leave_runq t th
       else begin
         run_gate t;
-        let alone = List.length t.runq = 1 in
+        let alone = run_queue_length t = 1 in
         put_turn t;
         if alone && t.gate = None then Engine.sleep t.eng t.idle_period;
         loop ()
@@ -243,18 +316,18 @@ let idle_loop t =
 
 let stop t = t.stopped <- true
 
-let create ?(turn_cost = Time.ns 150) ?(idle_period = Time.us 10) eng =
+let create ?(turn_cost = Time.ns 150) ?(idle_period = Time.us 10) ?(lanes = 1)
+    eng =
   let t =
     {
       eng;
       turn_cost;
       idle_period;
-      runq = [];
+      lanes = Array.init (max 1 lanes) (fun _ -> { lq = []; lsig = 1 });
       waitq = Hashtbl.create 64;
       threads = Hashtbl.create 64;
       clock = 0;
       next_obj = 1;
-      sigpos = 1;
       gate = None;
       tick_hooks = [];
       switches = 0;
@@ -460,13 +533,26 @@ module Soft_barrier = struct
 
   let create t ~n ~timeout_ticks = { t; n; timeout_ticks; gathering = []; armed = false }
 
+  (* Re-queue a gathered batch: each thread rejoins the tail of its own
+     lane, and any lane whose head the insertion became (it was idle) is
+     woken — in the 1-lane case that is exactly the old
+     [runq <- runq @ batch; wake_head]. *)
+  let requeue t batch =
+    List.iter
+      (fun th ->
+        let l = lane_of t th in
+        let was_empty = l.lq = [] in
+        l.lq <- l.lq @ [ th ];
+        if was_empty then wake_head t th.lane)
+      batch
+
   let release sb =
     (match sb.gathering with
     | [] -> ()
     | batch ->
       sb.gathering <- [];
-      sb.t.runq <- sb.t.runq @ batch;
-      wake_head sb.t);
+      requeue sb.t batch;
+      wake_head sb.t 0);
     sb.armed <- false
 
   let wait sb =
@@ -480,8 +566,8 @@ module Soft_barrier = struct
        sb.gathering <- [];
        sb.armed <- false;
        leave_runq t th;
-       t.runq <- t.runq @ batch;
-       wake_head t;
+       requeue t batch;
+       wake_head t th.lane;
        park t th
      end
      else begin

@@ -26,11 +26,22 @@ type t
 
 val create :
   ?turn_cost:Crane_sim.Time.t -> ?idle_period:Crane_sim.Time.t ->
-  Crane_sim.Engine.t -> t
+  ?lanes:int -> Crane_sim.Engine.t -> t
 (** [turn_cost] is virtual time charged per turn handoff (default 150 ns:
     PARROT's optimized spin-then-block handoff); [idle_period] paces the
     internal idle thread when the run queue is otherwise empty (default
-    10 us, the paper's usleep in Figure 10). *)
+    10 us, the paper's usleep in Figure 10).  [lanes] (default 1) is the
+    number of independent run queues: the 1-lane scheduler is classic
+    PARROT; the dependency-aware delivery layer adds one lane per pool
+    worker so footprint-disjoint commands round-robin independently.
+    Lane 0 hosts the idle thread and threads spawned from outside the
+    scheduler. *)
+
+val lane_count : t -> int
+
+val current_lane : t -> int
+(** Lane of the calling thread (0 for unregistered threads).  A thread's
+    lane changes when it is signalled with {!signal}[ ?lane]. *)
 
 val engine : t -> Crane_sim.Engine.t
 
@@ -86,12 +97,23 @@ val wait : t -> obj:int -> unit
 (** Move the calling thread (which must hold the turn) to the wait queue
     of [obj]; returns holding the turn once signalled and at the head. *)
 
-val signal : t -> obj:int -> unit
+val signal : ?lane:int -> t -> obj:int -> unit
 (** Move one waiter of [obj] just behind the current head, so it becomes
     the head after the signaller's {!put_turn}.  No-op without waiters.
-    Requires the turn. *)
+    Requires the turn.  [?lane] re-lanes the waiter into that run queue
+    instead of the signaller's (the dependency-aware gate routes a worker
+    to the lane of its command's conflict footprint); a waiter landing at
+    the head of an idle lane is woken directly. *)
 
-val signal_all : t -> obj:int -> unit
+val signal_all : ?lane:int -> t -> obj:int -> unit
+
+val relane : t -> lane:int -> unit
+(** Migrate the calling thread (which must hold its lane's turn) into
+    [lane]'s run queue, just behind its head; returns holding that
+    lane's turn.  No-op when already there.  Complements [signal ?lane]:
+    a worker whose command bytes were pushed before it ever parked is
+    never re-laned by the signal and must move itself at the
+    execute-window boundary. *)
 
 val waiters : t -> obj:int -> int
 

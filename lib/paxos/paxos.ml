@@ -222,6 +222,7 @@ type t = {
   open_batches : (int * int) Queue.t; (* (hi, size) *)
   mutable batches_committed : int;
   batch_sizes : (int, int) Hashtbl.t; (* size -> committed batches *)
+  mutable max_batch : int; (* largest committed batch, unclamped *)
 }
 
 type stats = {
@@ -235,6 +236,7 @@ type stats = {
   last_election_duration : Time.t option;
   batches_committed : int;
   events_per_batch : (int * int) list;
+  max_batch : int;
   compactions : int;
   snapshots_served : int;
   snapshots_installed : int;
@@ -277,6 +279,7 @@ let stats (t : t) : stats =
     events_per_batch =
       Hashtbl.fold (fun size n acc -> (size, n) :: acc) t.batch_sizes []
       |> List.sort compare;
+    max_batch = t.max_batch;
     compactions = t.compactions;
     snapshots_served = t.snapshots_served;
     snapshots_installed = t.snapshots_installed;
@@ -538,6 +541,7 @@ let note_committed_batches t =
     | Some (hi, size) when hi <= t.committed ->
       ignore (Queue.pop t.open_batches);
       t.batches_committed <- t.batches_committed + 1;
+      if size > t.max_batch then t.max_batch <- size;
       let size = min size histogram_cap in
       Hashtbl.replace t.batch_sizes size
         (1 + Option.value (Hashtbl.find_opt t.batch_sizes size) ~default:0);
@@ -1449,6 +1453,7 @@ let create ?(config = default_config) ~fabric ~rng ~wal ~members ~node ~group ()
       open_batches = Queue.create ();
       batches_committed = 0;
       batch_sizes = Hashtbl.create 16;
+      max_batch = 0;
     }
   in
   recover_from_wal t;

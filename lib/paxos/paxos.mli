@@ -275,7 +275,11 @@ type stats = {
   events_per_batch : (int * int) list;
       (** histogram of committed batch sizes: [(size, batches)] pairs in
           ascending size order ({!submit} counts as size 1; sizes are
-          clamped to a fixed bucket cap of 64 so the table is bounded) *)
+          clamped to {!histogram_cap} so the table is bounded — render
+          the top bucket as "64+", it is a sum over all larger sizes) *)
+  max_batch : int;
+      (** largest committed batch actually observed, unclamped — the
+          truth the capped histogram's top bucket hides *)
   compactions : int;  (** compaction rounds applied on this node *)
   snapshots_served : int;  (** catch-up requests answered with a snapshot *)
   snapshots_installed : int;
@@ -297,3 +301,7 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val histogram_cap : int
+(** bucket cap of {!stats.events_per_batch}: sizes at or above it fold
+    into one top bucket (render it as ["<cap>+"]) *)

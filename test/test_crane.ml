@@ -52,6 +52,7 @@ let echo_server : Api.server =
           mem_bytes = (fun () -> 1_000_000);
           stop = (fun () -> stopped := true);
           read = (fun _ -> None);
+          footprint = (fun _ -> None);
         });
   }
 

@@ -331,6 +331,67 @@ let test_write_outputs_identical_fastpath_on_off () =
   Alcotest.(check (list (pair string string)))
     "write outputs byte-identical with the fast path on vs off" off on
 
+(* Regression: an abruptly killed client (thread death, no FIN, no Close
+   through consensus) with admissions still in flight must not pin the
+   read watermark.  Per-connection in-flight tracking has to drain on
+   the worker's own quiescence/close paths, or every later backup read
+   stays conservatively stale forever. *)
+let test_watermark_advances_past_killed_client () =
+  let cfg =
+    { cluster_cfg with Instance.mode = Instance.Full; pool_workers = 4 }
+  in
+  let cluster = Cluster.create ~seed:13 ~cfg ~server:Ledger.server () in
+  Cluster.start ~checkpoints:false cluster;
+  let eng = Cluster.engine cluster in
+  let target = Target.cluster cluster ~port:80 in
+  let victim_group = Engine.new_group eng in
+  (* Victim: fire-and-forget PUT burst, never reads replies. *)
+  Engine.spawn eng ~group:victim_group ~name:"victim" (fun () ->
+      Engine.sleep eng (Time.ms 600);
+      match Target.connect target ~from:"victim" with
+      | None -> ()
+      | Some conn ->
+        for i = 1 to 200 do
+          (try Sock.send conn (Printf.sprintf "PUT v%d\n" i)
+           with Sock.Connection_closed -> ());
+          Engine.sleep eng (Time.ms 1)
+        done);
+  let committed_at_kill = ref (-1) in
+  Engine.at eng (Time.ms 650) (fun () ->
+      (* Mid-burst, with admitted-but-unretired commands on the wire. *)
+      Engine.kill_group eng victim_group;
+      match Cluster.primary cluster with
+      | Some (_, inst) ->
+        committed_at_kill := Paxos.committed inst.Instance.paxos
+      | None -> ());
+  let ledger = Ledger.client () in
+  let final_wm = ref (-1) in
+  Engine.spawn eng ~name:"survivor" (fun () ->
+      Engine.sleep eng (Time.ms 800);
+      for i = 1 to 6 do
+        (match Ledger.request ledger target ~from:"surv" with
+        | Some _ -> ()
+        | None -> Alcotest.fail (Printf.sprintf "post-kill PUT %d failed" i));
+        Engine.sleep eng (Time.ms 30)
+      done;
+      Engine.sleep eng (Time.ms 400);
+      let b =
+        match Cluster.backup_nodes cluster with
+        | b :: _ -> b
+        | [] -> Alcotest.fail "no backup"
+      in
+      let r = served (Ledger.fast_get (node_target cluster b) ~from:"surv") in
+      final_wm := r.Proxy.watermark);
+  Cluster.run ~until:(Time.ms 2800) cluster;
+  Cluster.check_failures cluster;
+  if !committed_at_kill < 0 then Alcotest.fail "no primary at kill time";
+  if !final_wm < 0 then Alcotest.fail "backup read never answered";
+  Alcotest.(check bool)
+    (Printf.sprintf "watermark %d advanced past kill-time commit %d"
+       !final_wm !committed_at_kill)
+    true
+    (!final_wm > !committed_at_kill)
+
 let suite =
   [
     ( "reads",
@@ -347,5 +408,7 @@ let suite =
           test_lease_and_backup_reads_end_to_end;
         Alcotest.test_case "write outputs identical fastpath on/off" `Quick
           test_write_outputs_identical_fastpath_on_off;
+        Alcotest.test_case "watermark advances past killed client" `Quick
+          test_watermark_advances_past_killed_client;
       ] );
   ]

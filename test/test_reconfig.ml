@@ -231,6 +231,7 @@ let null_server : Api.server =
           mem_bytes = (fun () -> 1_000);
           stop = (fun () -> ());
           read = (fun _ -> None);
+          footprint = (fun _ -> None);
         });
   }
 

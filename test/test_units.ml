@@ -84,6 +84,35 @@ let test_seq_drain_upto () =
   Paxos_seq.drain_bubble_upto seq 100;
   Alcotest.(check bool) "over-drain clamps to empty" true (Paxos_seq.is_empty seq)
 
+(* max_depth is attributed per view: a view change resets the high-water
+   mark to the current depth, so a report never shows a stale peak from a
+   previous primary's burst regime — but the mark must survive drains
+   within a view and re-grow after the reset. *)
+let test_seq_max_depth_per_view () =
+  let eng = Engine.create () in
+  let seq = Paxos_seq.create eng in
+  for i = 1 to 5 do
+    Paxos_seq.append seq ~index:i ~view:0 (Event.Send { conn = 1; payload = "x" })
+  done;
+  Alcotest.(check int) "peak under view 0" 5 (Paxos_seq.max_depth seq);
+  Alcotest.(check int) "attributed to view 0" 0 (Paxos_seq.max_depth_view seq);
+  for _ = 1 to 4 do
+    Paxos_seq.drop_head seq
+  done;
+  Alcotest.(check int) "drain keeps the in-view peak" 5 (Paxos_seq.max_depth seq);
+  (* view change: the first append under view 2 resets the mark to the
+     depth at that instant (1 leftover + the new entry = 2), not 5 *)
+  Paxos_seq.append seq ~index:6 ~view:2 (Event.Send { conn = 1; payload = "y" });
+  Alcotest.(check int) "view change resets the peak" 2 (Paxos_seq.max_depth seq);
+  Alcotest.(check int) "attributed to view 2" 2 (Paxos_seq.max_depth_view seq);
+  Paxos_seq.append seq ~index:7 ~view:2 (Event.Send { conn = 1; payload = "z" });
+  Alcotest.(check int) "re-grows within the new view" 3 (Paxos_seq.max_depth seq);
+  (* a stale append tagged with an older view must not resurrect it *)
+  Paxos_seq.drop_head seq;
+  Paxos_seq.append seq ~index:8 ~view:1 (Event.Send { conn = 1; payload = "w" });
+  Alcotest.(check int) "older-view append does not reset" 3 (Paxos_seq.max_depth seq);
+  Alcotest.(check int) "attribution unchanged" 2 (Paxos_seq.max_depth_view seq)
+
 let test_seq_empty_for () =
   let eng = Engine.create () in
   let seq = Paxos_seq.create eng in
@@ -229,6 +258,7 @@ let suite =
         Alcotest.test_case "fifo" `Quick test_seq_fifo;
         Alcotest.test_case "bubble drain" `Quick test_seq_bubble_drain;
         Alcotest.test_case "drain upto clamps" `Quick test_seq_drain_upto;
+        Alcotest.test_case "max_depth per view" `Quick test_seq_max_depth_per_view;
         Alcotest.test_case "empty_for" `Quick test_seq_empty_for;
       ] );
     ( "units.output_log",
