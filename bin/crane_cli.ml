@@ -1071,6 +1071,158 @@ let analyze_cmd targets seed list =
     if Driver.problems outcomes = [] then 0 else 1
   end
 
+(* ---- Crane-MC: systematic schedule exploration + linearizability ---- *)
+
+module Mc = Crane_analysis.Mc
+
+let mc_print_violation (v : Mc.violation) =
+  Printf.printf "VIOLATION (schedule %d): %s — %s\n" v.v_run v.v_invariant
+    v.v_detail;
+  Printf.printf "counterexample schedule (%d choices):\n"
+    (List.length v.v_choices);
+  List.iter
+    (fun (c : Mc.choice) ->
+      Printf.printf "  %-12s %d/%d  %s\n" c.c_label c.c_taken c.c_width c.c_key)
+    v.v_choices
+
+(* Wall time goes to stderr: stdout stays deterministic for diffing. *)
+let mc_explore ~name cfg =
+  let t0 = Sys.time () in
+  let o = Mc.explore_mutated cfg in
+  let dt = Sys.time () -. t0 in
+  Printf.printf "[%s] %d schedules, %d deliveries, %s\n" name o.Mc.o_runs
+    o.Mc.o_transitions
+    (if o.Mc.o_complete then "explored to bound" else "run budget hit");
+  Printf.eprintf "[%s] wall %.1fs\n%!" name dt;
+  o
+
+(* Prove the checker finds a reintroduced bug, and that the recorded
+   counterexample replays to the same invariant violation. *)
+let mc_kill_mutation ~seed m file =
+  let cfg = { (Mc.mutation_preset m) with Mc.seed } in
+  let name = "mutate:" ^ Mc.mutation_name m in
+  let o = mc_explore ~name cfg in
+  match o.Mc.o_violation with
+  | None ->
+    Printf.printf "[%s] NOT KILLED: no violation within the bounds\n" name;
+    false
+  | Some v ->
+    Printf.printf "[%s] killed by %s — %s\n" name v.Mc.v_invariant v.Mc.v_detail;
+    Mc.write_trace cfg v file;
+    Printf.printf "[%s] counterexample written to %s\n" name file;
+    let _, expect, verdict = Mc.replay file in
+    (match verdict with
+    | Some (inv, _) when inv = expect ->
+      Printf.printf "[%s] replay reproduces the %s violation\n" name inv;
+      true
+    | Some (inv, d) ->
+      Printf.printf "[%s] replay diverged: got %s — %s\n" name inv d;
+      false
+    | None ->
+      Printf.printf "[%s] replay FAILED to reproduce the violation\n" name;
+      false)
+
+let mc_smoke seed =
+  let ok = ref true in
+  let clean name cfg =
+    let o = mc_explore ~name cfg in
+    match o.Mc.o_violation with
+    | Some v ->
+      mc_print_violation v;
+      Mc.write_trace cfg v ("mc_" ^ name ^ ".trace");
+      Printf.printf "[%s] counterexample written to mc_%s.trace\n" name name;
+      ok := false
+    | None -> Printf.printf "[%s] no violations\n" name
+  in
+  clean "clean" { Mc.default with Mc.seed };
+  clean "clean-crash"
+    {
+      Mc.default with
+      Mc.seed;
+      clients = 1;
+      crash_budget = 1;
+      crash_window = 6;
+    };
+  if not (mc_kill_mutation ~seed Mc.Hole_backfill "mc_hole_backfill.trace") then
+    ok := false;
+  if not (mc_kill_mutation ~seed Mc.Dup_accept "mc_dup_accept.trace") then
+    ok := false;
+  if !ok then begin
+    print_endline "mc smoke: PASS";
+    0
+  end
+  else begin
+    print_endline "mc smoke: FAIL";
+    1
+  end
+
+let mc_cmd seed replicas clients writes reads crashes drops delay_mult naive
+    no_fastpath pool mutate max_branch max_runs trace_out replay smoke =
+  match replay with
+  | Some path ->
+    let cfg, expect, verdict = Mc.replay path in
+    Printf.printf "replaying %s (%s, expected violation: %s)\n" path
+      (Mc.mutation_name cfg.Mc.mutation)
+      (if expect = "" then "?" else expect);
+    (match verdict with
+    | Some (inv, detail) ->
+      Printf.printf "reproduced: %s — %s\n" inv detail;
+      if expect = "" || inv = expect then 0 else 1
+    | None ->
+      print_endline "no violation on replay";
+      1)
+  | None ->
+    if smoke then mc_smoke seed
+    else begin
+      let base =
+        match mutate with Some m -> Mc.mutation_preset m | None -> Mc.default
+      in
+      let ov v = function Some x -> x | None -> v in
+      let cfg =
+        {
+          base with
+          Mc.seed;
+          replicas = ov base.Mc.replicas replicas;
+          clients = ov base.Mc.clients clients;
+          writes = ov base.Mc.writes writes;
+          reads = ov base.Mc.reads reads;
+          crash_budget = ov base.Mc.crash_budget crashes;
+          drop_budget = ov base.Mc.drop_budget drops;
+          delays =
+            (match delay_mult with
+            | Some m when m > 1 -> [| 1; m |]
+            | _ -> base.Mc.delays);
+          dpor = not naive;
+          read_fastpath = base.Mc.read_fastpath && not no_fastpath;
+          pool_workers = ov base.Mc.pool_workers pool;
+          max_branch = ov base.Mc.max_branch max_branch;
+          max_runs = ov base.Mc.max_runs max_runs;
+        }
+      in
+      let name =
+        match mutate with
+        | Some m -> "mutate:" ^ Mc.mutation_name m
+        | None -> "explore"
+      in
+      let o = mc_explore ~name cfg in
+      match (o.Mc.o_violation, mutate) with
+      | Some v, _ ->
+        mc_print_violation v;
+        (match trace_out with
+        | Some file ->
+          Mc.write_trace cfg v file;
+          Printf.printf "counterexample written to %s\n" file
+        | None -> ());
+        (* finding the reintroduced bug is the expected outcome *)
+        if mutate = None then 1 else 0
+      | None, Some _ ->
+        print_endline "mutation NOT killed within the bounds";
+        1
+      | None, None ->
+        print_endline "no violations";
+        0
+    end
+
 (* ---- profile: commit critical path and the what-if latency lab ---- *)
 
 module Critical_path = Crane_trace.Critical_path
@@ -1926,6 +2078,72 @@ let analyze_list_arg =
 let analyze_term =
   Term.(const analyze_cmd $ analyze_targets_arg $ seed_arg $ analyze_list_arg)
 
+let mc_opt_int names doc =
+  Arg.(value & opt (some int) None & info names ~doc)
+
+let mc_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let mc_mutate_arg =
+  let choice =
+    Arg.enum
+      [ ("hole-backfill", Mc.Hole_backfill); ("dup-accept", Mc.Dup_accept) ]
+  in
+  Arg.(value & opt (some choice) None
+       & info [ "mutate" ]
+           ~doc:"Reintroduce a fixed paxos bug (hole-backfill, dup-accept) \
+                 and require the checker to find it: exit 0 iff a violation \
+                 is found and its counterexample replays.")
+
+let mc_naive_arg =
+  Arg.(value & flag
+       & info [ "naive" ]
+           ~doc:"Disable DPOR: enumerate every delivery interleaving \
+                 (baseline for the pruning-factor measurement).")
+
+let mc_no_fastpath_arg =
+  Arg.(value & flag
+       & info [ "no-fastpath" ] ~doc:"Disable the read fast path (all reads \
+                                      go through consensus).")
+
+let mc_trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ]
+           ~doc:"Write the counterexample schedule to this file (replayable \
+                 with --replay).")
+
+let mc_replay_arg =
+  Arg.(value & opt (some string) None
+       & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Re-execute a recorded counterexample trace and report \
+                 whether the violation reproduces.")
+
+let mc_smoke_arg =
+  Arg.(value & flag
+       & info [ "smoke" ]
+           ~doc:"CI matrix: explore a clean config with and without a crash \
+                 (expect no violations), then prove both mutations are \
+                 killed with replayable counterexamples.")
+
+let mc_term =
+  Term.(const mc_cmd $ mc_seed_arg
+        $ mc_opt_int [ "replicas" ] "Cluster size (default 3)."
+        $ mc_opt_int [ "clients" ] "Concurrent clients (default 2)."
+        $ mc_opt_int [ "writes" ] "Writes per client (default 2)."
+        $ mc_opt_int [ "reads" ] "Fast-path reads per client (default 1)."
+        $ mc_opt_int [ "crashes" ] "Crash budget (default 0)."
+        $ mc_opt_int [ "drops" ] "Message-drop budget (default 0)."
+        $ mc_opt_int [ "delay-mult" ]
+            "Arm a second delivery-latency bucket at this multiple of the \
+             base latency."
+        $ mc_naive_arg $ mc_no_fastpath_arg
+        $ mc_opt_int [ "pool" ] "Parallel-pool workers (default 1)."
+        $ mc_mutate_arg
+        $ mc_opt_int [ "max-branch" ]
+            "Branchable choice points per execution (default 18)."
+        $ mc_opt_int [ "max-runs" ] "Schedule budget (default 3000)."
+        $ mc_trace_out_arg $ mc_replay_arg $ mc_smoke_arg)
+
 let whatif_arg =
   let choice = Arg.enum all_whatifs in
   Arg.(value & opt_all choice []
@@ -2046,6 +2264,13 @@ let cmds =
          ~doc:"Commit critical-path profile: per-stage latency decomposition, \
                per-view stalls, blocked-on attribution, what-if latency lab.")
       profile_term;
+    Cmd.v
+      (Cmd.info "mc"
+         ~doc:"Crane-MC: systematically explore delivery orders, drops, \
+               delays and crashes with DPOR; check SMR invariants and \
+               linearizability of the client history at every terminal \
+               state.")
+      mc_term;
     Cmd.v
       (Cmd.info "analyze"
          ~doc:"Crane-San: race detection, lock-order lint and determinism \

@@ -176,6 +176,11 @@ let render r =
     "locations: %d checked (%d thread-confined, exempt)\n" r.locations
     r.confined;
   (match r.violations with
+  (* An empty-window run proves nothing: without a single execute window
+     no access was ever checked, so "no violations" must not read as a
+     positive certification. *)
+  | [] when r.windows = 0 ->
+    Buffer.add_string b "vacuously certified (no execute windows).\n"
   | [] -> Buffer.add_string b "conflict-serializable in log-index order.\n"
   | vs ->
     Printf.bprintf b "%d ORDER VIOLATION(S):\n" (List.length vs);

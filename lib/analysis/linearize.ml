@@ -1,0 +1,211 @@
+(** Wing–Gong linearizability checking of recorded client histories
+    against a sequential ledger spec.
+
+    The history is the client-side view of a run: every operation carries
+    its invocation and response times and the result the client observed.
+    The checker searches for a single total order of the operations that
+    (a) respects real time — an operation that completed before another
+    was invoked must precede it — and (b) replays correctly against the
+    sequential spec of the append-only ledger: an [Append] adds one id,
+    a [Get] returns exactly the ids appended so far, in order.
+
+    Two refinements beyond the textbook algorithm:
+
+    {ul
+    {- {e Pending operations.}  An append whose response never arrived
+       (client timed out, primary crashed) may have taken effect at any
+       point after its invocation — or never.  The search is free to
+       place it or drop it; only completed operations are obligations.}
+    {- {e Bounded-stale reads.}  A [Backup]-mode fast-path read is
+       entitled to serve a stale committed prefix, bounded by the
+       staleness the serving replica itself declared.  Such reads are
+       excluded from the strict search and audited against the candidate
+       write order instead: the returned ids must be a prefix of that
+       order, must not contain writes from the read's future, and may
+       miss at most [bound] writes that were acknowledged before the
+       read began.  A read stale beyond its declared bound is a
+       violation — the fast path lied about its own staleness.}}
+
+    The search is exponential in the worst case but memoized on
+    (linearized-set, ledger-state); Crane-MC histories are a handful of
+    operations, for which it is instantaneous. *)
+
+type op = Append of string | Get
+
+type res = Ack | Ids of string list
+
+type mode =
+  | Strict  (** writes, consensus reads, lease-mode fast reads *)
+  | Stale of int
+      (** backup-mode fast read with its declared staleness bound, in
+          consensus log entries behind the commit frontier *)
+
+type event = {
+  who : string;  (** client name, for diagnostics *)
+  op : op;
+  mode : mode;
+  inv : int;  (** invocation time *)
+  resp : int option;  (** response time; [None] = never returned *)
+  res : res option;  (** observed result; [None] = never returned *)
+}
+
+type verdict =
+  | Linear of string list
+      (** a witness linearization: the append order that explains every
+          observation *)
+  | Violation of string
+
+let pp_ids ids = "[" ^ String.concat "," ids ^ "]"
+
+exception Found of string list
+
+let check events =
+  (* Stale reads are audited against the candidate write order; everything
+     else goes through the strict search.  Reads that never returned
+     impose no obligation in either camp. *)
+  let stale, strict =
+    List.partition
+      (fun e -> match e.mode with Stale _ -> true | Strict -> false)
+      events
+  in
+  List.iter
+    (fun e ->
+      match e.op with
+      | Get -> ()
+      | Append _ -> invalid_arg "Linearize.check: stale-mode append")
+    stale;
+  let stale = List.filter (fun e -> e.resp <> None && e.res <> None) stale in
+  let strict =
+    List.filter
+      (fun e -> not (e.op = Get && (e.resp = None || e.res = None)))
+      strict
+  in
+  let evs = Array.of_list strict in
+  let n = Array.length evs in
+  if n > 60 then invalid_arg "Linearize.check: history too large";
+  let completed_mask = ref 0 in
+  Array.iteri
+    (fun i e -> if e.resp <> None then completed_mask := !completed_mask lor (1 lsl i))
+    evs;
+  let completed_mask = !completed_mask in
+  (* Append metadata for the stale-read audit: id -> (inv, resp). *)
+  let appends = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      match e.op with
+      | Append id ->
+        if Hashtbl.mem appends id then
+          invalid_arg ("Linearize.check: duplicate append id " ^ id);
+        Hashtbl.replace appends id (e.inv, e.resp)
+      | Get -> ())
+    evs;
+  let stale_note = ref None in
+  let audit_stale order =
+    let sees r =
+      match r.res with Some (Ids l) -> l | Some Ack | None -> []
+    in
+    let fail m = if !stale_note = None then stale_note := Some m in
+    List.for_all
+      (fun r ->
+        let bound = match r.mode with Stale s -> s | Strict -> assert false in
+        let rresp = match r.resp with Some x -> x | None -> assert false in
+        let want = sees r in
+        let k = List.length want in
+        let prefix = List.filteri (fun i _ -> i < k) order in
+        if want <> prefix then begin
+          fail
+            (Printf.sprintf
+               "stale read by %s returned %s, which is not a prefix of the \
+                write order %s"
+               r.who (pp_ids want) (pp_ids order));
+          false
+        end
+        else begin
+          let from_future =
+            List.filter
+              (fun id ->
+                match Hashtbl.find_opt appends id with
+                | Some (winv, _) -> winv > rresp
+                | None -> false)
+              want
+          in
+          if from_future <> [] then begin
+            fail
+              (Printf.sprintf
+                 "stale read by %s returned %s invoked only after the read \
+                  completed"
+                 r.who (pp_ids from_future));
+            false
+          end
+          else begin
+            let missing =
+              List.filter
+                (fun id ->
+                  (not (List.mem id want))
+                  &&
+                  match Hashtbl.find_opt appends id with
+                  | Some (_, Some wresp) -> wresp < r.inv
+                  | _ -> false)
+                order
+            in
+            if List.length missing > bound then begin
+              fail
+                (Printf.sprintf
+                   "stale read by %s declared staleness <= %d but is missing \
+                    %d writes acked before it began: %s"
+                   r.who bound (List.length missing) (pp_ids missing));
+              false
+            end
+            else true
+          end
+        end)
+      stale
+  in
+  (* Memoized DFS over the linearization tree.  [state] is the ledger in
+     reverse append order; a (mask, state) pair that failed once fails
+     always, so it is explored at most once. *)
+  let dead = Hashtbl.create 1024 in
+  let best = ref [] in
+  let rec dfs mask state =
+    if List.length state > List.length !best then best := state;
+    if mask land completed_mask = completed_mask && audit_stale (List.rev state)
+    then raise (Found (List.rev state));
+    let key = (mask, state) in
+    if not (Hashtbl.mem dead key) then begin
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) = 0 then begin
+          let e = evs.(i) in
+          (* Real-time order: [e] cannot linearize while another
+             not-yet-linearized operation finished before [e] began. *)
+          let blocked = ref false in
+          for j = 0 to n - 1 do
+            if j <> i && mask land (1 lsl j) = 0 then
+              match evs.(j).resp with
+              | Some r when r < e.inv -> blocked := true
+              | _ -> ()
+          done;
+          if not !blocked then
+            match e.op with
+            | Append id -> dfs (mask lor (1 lsl i)) (id :: state)
+            | Get ->
+              let want =
+                match e.res with Some (Ids l) -> l | _ -> assert false
+              in
+              if want = List.rev state then dfs (mask lor (1 lsl i)) state
+        end
+      done;
+      Hashtbl.add dead key ()
+    end
+  in
+  try
+    dfs 0 [];
+    match !stale_note with
+    | Some m -> Violation m
+    | None ->
+      Violation
+        (Printf.sprintf
+           "no linearization exists for %d operations (longest consistent \
+            write prefix: %s)"
+           n
+           (pp_ids (List.rev !best)))
+  with Found order -> Linear order

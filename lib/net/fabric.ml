@@ -1,6 +1,7 @@
 module Time = Crane_sim.Time
 module Engine = Crane_sim.Engine
 module Rng = Crane_sim.Rng
+module Sched = Crane_sim.Sched
 module Trace = Crane_trace.Trace
 
 type node = string
@@ -9,6 +10,17 @@ type endpoint = { node : node; port : int }
 let endpoint_pp fmt e = Format.fprintf fmt "%s:%d" e.node e.port
 
 type message = ..
+
+(* A send parked in the controlled fabric, waiting for the scheduler to
+   deliver it.  Ids are assigned in send order, so the FIFO head of a
+   link is its pending message with the smallest id. *)
+type ctl_msg = {
+  cm_id : int;
+  cm_src : endpoint;
+  cm_dst : endpoint;
+  cm_msg : message;
+  cm_ready : Time.t;
+}
 
 type t = {
   eng : Engine.t;
@@ -36,6 +48,10 @@ type t = {
   mutable partitions : (node list * node list * bool) list;
   mutable delivered : int;
   mutable dropped : int;
+  (* Controlled-mode state (Crane-MC); only touched when the engine
+     carries a scheduler. *)
+  mutable ctl_next_id : int;
+  ctl_pending : (int, ctl_msg) Hashtbl.t;
 }
 
 let create eng rng =
@@ -54,6 +70,8 @@ let create eng rng =
     partitions = [];
     delivered = 0;
     dropped = 0;
+    ctl_next_id = 0;
+    ctl_pending = Hashtbl.create 64;
   }
 
 let engine t = t.eng
@@ -114,8 +132,116 @@ let note_drop t ~src ~dst ~reason =
    drop so chaos reports and timelines show why the message died. *)
 let reject t ~src ~dst ~reason = note_drop t ~src ~dst ~reason
 
+(* ------------------------------------------------------------------ *)
+(* Controlled mode (Crane-MC).
+
+   With a scheduler installed on the engine, sends do not sample the
+   per-link RNG streams at all: every message parks in [ctl_pending]
+   behind a fixed base latency, and at each delivery instant the
+   scheduler picks which eligible message fires next, then whether it is
+   delivered or dropped.  Per-link FIFO is preserved structurally — only
+   the oldest pending message of each link is ever eligible — so the
+   enumerator explores exactly the cross-link delivery orders a real
+   asynchronous network admits.  Everything downstream of the choices is
+   deterministic, which is what makes a recorded choice sequence a
+   replayable counterexample. *)
+
+(* Stable identity of a pending message, parseable by the enumerator:
+   "<id>|<src>><dst>:<port>". *)
+let ctl_key m =
+  Printf.sprintf "%d|%s>%s:%d" m.cm_id m.cm_src.node m.cm_dst.node
+    m.cm_dst.port
+
+(* Eligible set: per-link FIFO heads whose ready time has arrived.  A
+   delay-bucketed head parks its whole link behind it (FIFO), which is
+   how the enumerator slides a message past a timer deadline. *)
+let ctl_eligible t =
+  let now = Engine.now t.eng in
+  let heads = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ m ->
+      let link = (m.cm_src.node, m.cm_dst.node) in
+      match Hashtbl.find_opt heads link with
+      | Some m' when m'.cm_id < m.cm_id -> ()
+      | _ -> Hashtbl.replace heads link m)
+    t.ctl_pending;
+  let elig =
+    Hashtbl.fold
+      (fun _ m acc -> if m.cm_ready <= now then m :: acc else acc)
+      heads []
+  in
+  List.sort (fun a b -> compare a.cm_id b.cm_id) elig
+
+let ctl_pump t sched =
+  let rec loop () =
+    match ctl_eligible t with
+    | [] -> ()
+    | elig ->
+      sched.Sched.pre_deliver ();
+      let arr = Array.of_list elig in
+      let keys = Array.map ctl_key arr in
+      let m = arr.(Sched.choose sched ~label:"net.deliver" ~keys) in
+      Hashtbl.remove t.ctl_pending m.cm_id;
+      let src = m.cm_src and dst = m.cm_dst in
+      if
+        (not (is_up t src.node && is_up t dst.node))
+        || partitioned t src.node dst.node
+      then note_drop t ~src ~dst ~reason:"partitioned"
+      else begin
+        let key = ctl_key m in
+        let fate =
+          Sched.choose sched ~label:"net.fate"
+            ~keys:[| "deliver:" ^ key; "drop:" ^ key |]
+        in
+        if fate = 1 then note_drop t ~src ~dst ~reason:"mc_drop"
+        else
+          match Hashtbl.find_opt t.handlers (dst.node, dst.port) with
+          | Some handler ->
+            t.delivered <- t.delivered + 1;
+            sched.Sched.on_deliver ~id:m.cm_id ~src:src.node ~dst:dst.node;
+            handler ~src m.cm_msg
+          | None -> note_drop t ~src ~dst ~reason:"unbound"
+      end;
+      (* Handlers only ever park new messages at [now + base > now], so
+         the eligible set shrinks monotonically and the loop terminates.
+         Draining every same-instant delivery here matches the normal
+         mode, where simultaneous arrivals run back to back before any
+         continuation they wake. *)
+      loop ()
+  in
+  loop ()
+
+let ctl_send ~bytes t sched ~src ~dst msg =
+  if not (is_up t src.node) then note_drop t ~src ~dst ~reason:"src_down"
+  else begin
+    let id = t.ctl_next_id in
+    t.ctl_next_id <- id + 1;
+    sched.Sched.on_send ~id ~src:src.node ~dst:dst.node;
+    let mult =
+      let delays = sched.Sched.delays in
+      if Array.length delays <= 1 then delays.(0)
+      else
+        let keys =
+          Array.map
+            (fun d ->
+              Printf.sprintf "%d|%s>%s:%d|%dx" id src.node dst.node dst.port d)
+            delays
+        in
+        delays.(Sched.choose sched ~label:"net.delay" ~keys)
+    in
+    let ready =
+      Engine.now t.eng + (mult * sched.Sched.base) + (bytes * t.byte_cost)
+    in
+    Hashtbl.replace t.ctl_pending id
+      { cm_id = id; cm_src = src; cm_dst = dst; cm_msg = msg; cm_ready = ready };
+    Engine.at t.eng ready (fun () -> ctl_pump t sched)
+  end
+
 let send ?(bytes = 0) t ~src ~dst msg =
   if not (Hashtbl.mem t.up src.node) then node_up t src.node;
+  match Engine.sched t.eng with
+  | Some sched -> ctl_send ~bytes t sched ~src ~dst msg
+  | None ->
   let link = (src.node, dst.node) in
   let rng = link_rng t link in
   if not (is_up t src.node) || Rng.chance rng t.loss then

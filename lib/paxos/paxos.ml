@@ -23,6 +23,25 @@ type config = {
           requires *)
 }
 
+(* Mutation-testing switches (Crane-MC self-check): each flag
+   reintroduces a previously-fixed protocol bug so the model checker can
+   prove it would have caught the regression.  Global and mutable on
+   purpose — they are debug-only, default off, and flipped only around a
+   bounded exploration run; production paths never read them as [true]. *)
+type debug_faults = {
+  mutable hole_backfill_skip : bool;
+      (** regress the [set_committed] fix: only run the apply loop when
+          the commit index moved, so a log hole filled {e below} the
+          commit index leaves the replica wedged with
+          [applied < committed] *)
+  mutable dup_accept_drop : bool;
+      (** regress the duplicate-Accept fix: silently drop a retransmitted
+          Accept instead of re-acking it, so a lost [Accept_ok] stalls
+          the index forever when no other acceptor can form the quorum *)
+}
+
+let debug_faults = { hole_backfill_skip = false; dup_accept_drop = false }
+
 let default_config =
   {
     heartbeat_period = Time.sec 1;
@@ -551,7 +570,8 @@ let note_committed_batches t =
   go ()
 
 let set_committed t idx =
-  if idx > t.committed then begin
+  let moved = idx > t.committed in
+  if moved then begin
     (* Commit advancement retires the ack sets: once an index is
        committed, quorum bookkeeping for it is dead weight. *)
     for i = t.committed + 1 to idx do
@@ -563,8 +583,10 @@ let set_committed t idx =
   end;
   (* Always try to apply, even when the commit index did not move: the
      caller may have just filled a log hole {e below} it (catch-up after a
-     lossy window), and the application was stalled on that hole. *)
-  apply t
+     lossy window), and the application was stalled on that hole.
+     [hole_backfill_skip] regresses exactly this line to the historical
+     bug (apply only on commit movement) for the Crane-MC self-check. *)
+  if moved || not debug_faults.hole_backfill_skip then apply t
 
 let store_entry t ~index ~eview ~value =
   (* Indices at or below the compaction base are covered by the snapshot:
@@ -1061,8 +1083,13 @@ let handle (t : t) ~src msg =
       t.last_heartbeat <- Engine.now t.eng;
       (* A retransmitted Accept is already durable here: re-ack straight
          away (the first ack may have been the lost half) without writing
-         a duplicate WAL record. *)
-      if dup then tell t from (Accept_ok { aview; index })
+         a duplicate WAL record.  [dup_accept_drop] regresses this to the
+         historical bug — swallow the duplicate without re-acking — for
+         the Crane-MC self-check. *)
+      if dup then begin
+        if not debug_faults.dup_accept_drop then
+          tell t from (Accept_ok { aview; index })
+      end
       else
         persist t (Wal_accept (aview, index, value)) (fun () ->
             if t.view = aview then tell t from (Accept_ok { aview; index }));

@@ -22,6 +22,26 @@
 
 type t
 
+val paxos_port : int
+(** Fabric port the consensus component binds on every member. *)
+
+type debug_faults = {
+  mutable hole_backfill_skip : bool;
+      (** reintroduce the hole-backfill bug: applying is skipped when a
+          catch-up fill does not advance the committed index, wedging the
+          replica at [applied < committed] *)
+  mutable dup_accept_drop : bool;
+      (** reintroduce the duplicate-Accept bug: a retransmitted Accept for
+          an already-logged entry is not re-acked, so a lost first ack
+          stalls the round forever *)
+}
+
+val debug_faults : debug_faults
+(** Global fault-injection switches for Crane-MC's mutation self-check —
+    two historical paxos bugs kept reintroducible behind debug flags, as
+    fixed targets the model checker must prove it can find.  Both default
+    to [false]; only [crane_cli mc --mutate] sets them. *)
+
 type config = {
   heartbeat_period : Crane_sim.Time.t;  (** default 1 s *)
   election_timeout : Crane_sim.Time.t;  (** default 3 s *)

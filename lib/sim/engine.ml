@@ -15,6 +15,9 @@ type t = {
   kill_hooks : (group, (unit -> unit) list ref) Hashtbl.t;
   mutable failed : (string * exn) list;
   mutable trace : Trace.t;
+  (* Installed by the model checker to drive the fabric's controlled
+     mode; [None] (the default) keeps every consumer on its RNG path. *)
+  mutable sched : Sched.t option;
 }
 
 type 'a waker = 'a -> bool
@@ -33,12 +36,17 @@ let create () =
     kill_hooks = Hashtbl.create 16;
     failed = [];
     trace = Trace.null;
+    sched = None;
   }
 
 let now t = t.clock
 
 let trace t = t.trace
 let set_trace t tr = t.trace <- tr
+
+let sched t = t.sched
+let set_sched t s = t.sched <- Some s
+let clear_sched t = t.sched <- None
 
 let gid = function Some g -> g | None -> -1
 

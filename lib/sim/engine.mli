@@ -47,6 +47,18 @@ val set_trace : t -> Crane_trace.Trace.t -> unit
     and [group_kill] instants and [blocked] suspend/resume spans, all in
     category "sim". *)
 
+val sched : t -> Sched.t option
+(** The installed schedule enumerator, if any.  Consumers with
+    nondeterministic choices (the network fabric) route them through the
+    scheduler when one is present and fall back to their RNG paths
+    otherwise. *)
+
+val set_sched : t -> Sched.t -> unit
+(** Install a schedule enumerator: switches the fabric into controlled
+    mode for model checking.  See {!Sched}. *)
+
+val clear_sched : t -> unit
+
 val new_group : t -> group
 
 val kill_group : t -> group -> unit

@@ -1,0 +1,73 @@
+(** Choice points for systematic schedule exploration (Crane-MC).
+
+    A scheduler installed on an engine ([Engine.set_sched]) switches the
+    network fabric into {e controlled} mode: instead of sampling per-link
+    jitter/loss RNG streams, the fabric queues every send behind a fixed
+    base latency and, at each delivery instant, asks the scheduler which
+    eligible FIFO-head message to deliver next, whether to drop it, and
+    (when delay buckets are armed) how long a send is delayed.  Every
+    nondeterministic decision the simulation would have drawn from an RNG
+    becomes an explicit, labelled choice the enumerator can branch on.
+
+    The default scheduler always answers 0, which yields one canonical
+    deterministic schedule.  The model checker installs a [pick] that
+    replays a recorded choice prefix and records fresh choice points past
+    it; because everything downstream of the choices is deterministic,
+    the same prefix always reproduces the same execution — the property
+    stateless model checking and counterexample replay both rest on. *)
+
+type t = {
+  mutable pick : label:string -> keys:string array -> int;
+      (** Answer a choice point: an index into [keys].  [label] names the
+          kind of choice (["net.deliver"], ["net.fate"], ["net.delay"]);
+          [keys] identifies the alternatives.  Only called when there are
+          at least two alternatives — see {!choose}. *)
+  mutable on_send : id:int -> src:string -> dst:string -> unit;
+      (** A message entered the controlled fabric.  [id] is the fabric's
+          per-message sequence number: unique, in send order.  The model
+          checker snapshots the sender's vector clock here. *)
+  mutable on_deliver : id:int -> src:string -> dst:string -> unit;
+      (** A message was handed to its destination handler (not dropped).
+          Transitions observed here feed the DPOR dependence analysis. *)
+  mutable pre_deliver : unit -> unit;
+      (** Fired at each delivery instant before the scheduler picks,
+          while the eligible set is frozen.  Hosts crash/restart
+          injection and continuous invariant checks. *)
+  base : Time.t;  (** fixed one-way latency in controlled mode *)
+  delays : int array;
+      (** base-latency multipliers for the per-send delay choice; the
+          default [[|1|]] disarms the choice point entirely.  A bucket
+          larger than a timer period lets the enumerator reorder that
+          timer's firing against the delayed message. *)
+}
+
+let nop_pick ~label:_ ~keys:_ = 0
+let nop_send ~id:_ ~src:_ ~dst:_ = ()
+
+let create ?(base = Time.us 50) ?(delays = [| 1 |]) () =
+  if Array.length delays = 0 then invalid_arg "Sched.create: empty delays";
+  {
+    pick = nop_pick;
+    on_send = nop_send;
+    on_deliver = nop_send;
+    pre_deliver = ignore;
+    base;
+    delays;
+  }
+
+(** [choose t ~label ~keys] resolves one choice point.  Width-1 points
+    are answered locally without consulting [pick]: with a single
+    alternative there is nothing to branch on, and keeping them out of
+    the recorded schedule keeps counterexample traces minimal. *)
+let choose t ~label ~keys =
+  let width = Array.length keys in
+  if width = 0 then invalid_arg "Sched.choose: empty keys";
+  if width = 1 then 0
+  else begin
+    let i = t.pick ~label ~keys in
+    if i < 0 || i >= width then
+      invalid_arg
+        (Printf.sprintf "Sched.choose: pick returned %d for width %d (%s)" i
+           width label);
+    i
+  end
